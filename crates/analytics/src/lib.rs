@@ -1,0 +1,21 @@
+//! Analyzer-side analysis engines for the Prochlo evaluation pipelines.
+//!
+//! The ESA analyzer materialises an ordinary database; what runs on top of it
+//! is task-specific. This crate implements the three analyses the paper
+//! evaluates beyond plain histograms:
+//!
+//! * [`recovery`] — unique-item recovery accounting shared by the Vocab
+//!   (Figure 5) and Perms (Table 4) benchmarks;
+//! * [`sequence`] — an n-gram next-item predictor for the Suggest experiment
+//!   (§5.4), trainable on full histories or on anonymous, disjoint m-tuples;
+//! * [`covariance`] — the item-item S and A matrices assembled from
+//!   four-tuples and the collaborative-filtering predictor evaluated by RMSE
+//!   for the Flix experiment (Table 5).
+
+pub mod covariance;
+pub mod recovery;
+pub mod sequence;
+
+pub use covariance::{CovarianceModel, RatingTuple};
+pub use recovery::RecoveryReport;
+pub use sequence::SequenceModel;

@@ -1,0 +1,73 @@
+//! Unique-item recovery accounting: how many distinct true values did an
+//! analysis manage to surface, and how precise was it?
+
+use std::collections::HashSet;
+
+/// Compares a recovered set of items against the ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Distinct items in the ground truth.
+    pub ground_truth: usize,
+    /// Distinct items the analysis reported.
+    pub recovered: usize,
+    /// Recovered items that are actually present in the ground truth.
+    pub true_positives: usize,
+    /// Recovered items not present in the ground truth.
+    pub false_positives: usize,
+}
+
+impl RecoveryReport {
+    /// Builds a report from ground-truth and recovered item sets.
+    pub fn compare<T: Eq + std::hash::Hash + Clone>(truth: &[T], recovered: &[T]) -> Self {
+        let truth_set: HashSet<&T> = truth.iter().collect();
+        let recovered_set: HashSet<&T> = recovered.iter().collect();
+        let true_positives = recovered_set.iter().filter(|item| truth_set.contains(**item)).count();
+        Self {
+            ground_truth: truth_set.len(),
+            recovered: recovered_set.len(),
+            true_positives,
+            false_positives: recovered_set.len() - true_positives,
+        }
+    }
+
+    /// Fraction of the ground truth that was recovered.
+    pub fn recall(&self) -> f64 {
+        if self.ground_truth == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / self.ground_truth as f64
+    }
+
+    /// Fraction of recovered items that are correct.
+    pub fn precision(&self) -> f64 {
+        if self.recovered == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / self.recovered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_counts_overlap() {
+        let truth = vec!["a", "b", "c", "c"];
+        let recovered = vec!["b", "c", "d"];
+        let report = RecoveryReport::compare(&truth, &recovered);
+        assert_eq!(report.ground_truth, 3);
+        assert_eq!(report.recovered, 3);
+        assert_eq!(report.true_positives, 2);
+        assert_eq!(report.false_positives, 1);
+        assert!((report.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((report.precision() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_do_not_divide_by_zero() {
+        let report = RecoveryReport::compare::<&str>(&[], &[]);
+        assert_eq!(report.recall(), 0.0);
+        assert_eq!(report.precision(), 0.0);
+    }
+}

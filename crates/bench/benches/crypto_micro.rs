@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the cryptographic substrate: the
+//! per-record costs that determine the pipeline-level numbers of Tables 2
+//! and 3 (hashing, AEAD, curve scalar multiplication, hybrid seal/open,
+//! El Gamal blinding, secret-share encoding).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prochlo_crypto::aead::{self, AeadKey};
+use prochlo_crypto::edwards::Point;
+use prochlo_crypto::elgamal::{BlindingSecret, ElGamalCiphertext, ElGamalKeypair};
+use prochlo_crypto::hybrid::{HybridCiphertext, HybridKeypair};
+use prochlo_crypto::scalar::Scalar;
+use prochlo_crypto::sha256::sha256;
+use prochlo_crypto::{mle, shamir};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(20);
+
+    let payload = vec![0xabu8; 64];
+    group.bench_function("sha256_64B", |b| b.iter(|| sha256(&payload)));
+
+    let key = AeadKey::random(&mut rng);
+    let nonce = [7u8; aead::NONCE_LEN];
+    group.bench_function("aead_seal_64B", |b| {
+        b.iter(|| aead::seal(&key, &nonce, b"aad", &payload))
+    });
+
+    let scalar = Scalar::random(&mut rng);
+    group.bench_function("point_mul_base", |b| b.iter(|| Point::mul_base(&scalar)));
+
+    let recipient = HybridKeypair::generate(&mut rng);
+    group.bench_function("hybrid_seal_64B", |b| {
+        b.iter(|| HybridCiphertext::seal(&mut rng, recipient.public_key(), b"aad", &payload).unwrap())
+    });
+    let sealed = HybridCiphertext::seal(&mut rng, recipient.public_key(), b"aad", &payload).unwrap();
+    group.bench_function("hybrid_open_64B", |b| {
+        b.iter(|| sealed.open(recipient.secret(), b"aad").unwrap())
+    });
+
+    let elgamal = ElGamalKeypair::generate(&mut rng);
+    let ciphertext = ElGamalCiphertext::encrypt_hashed(&mut rng, elgamal.public_key(), b"crowd");
+    let blinding = BlindingSecret::random(&mut rng);
+    group.bench_function("elgamal_encrypt_hashed", |b| {
+        b.iter(|| ElGamalCiphertext::encrypt_hashed(&mut rng, elgamal.public_key(), b"crowd"))
+    });
+    group.bench_function("elgamal_blind", |b| b.iter(|| ciphertext.blind(&blinding)));
+    group.bench_function("elgamal_decrypt", |b| b.iter(|| elgamal.decrypt(&ciphertext)));
+
+    let secret = mle::derive_key(b"some reported value");
+    group.bench_function("mle_encrypt_64B", |b| b.iter(|| mle::encrypt(&payload)));
+    group.bench_function("shamir_share_t20", |b| {
+        b.iter(|| shamir::share_secret(&secret, 20, &mut rng))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table 1: Stash Shuffle parameter scenarios, their security, and relative
+//! processing overheads (318-byte encrypted records).
+//!
+//! The N, B, C, W, S columns and the paper-reported log(ε)/overhead come from
+//! the paper; the "model" columns are computed by this repository
+//! (`StashShuffleParams::{log2_epsilon, overhead_factor}`).
+
+use prochlo_bench::{fmt_records, print_header};
+use prochlo_shuffle::StashShuffleParams;
+
+fn main() {
+    print_header(
+        "Table 1: Stash Shuffle parameter scenarios",
+        &[
+            "N", "B", "C", "W", "S", "log2(eps) model", "log2(eps) paper", "overhead model",
+            "overhead paper",
+        ],
+    );
+    for scenario in StashShuffleParams::table1_scenarios() {
+        let p = scenario.params;
+        println!(
+            "{:>5} | {:>5} | {:>3} | {:>2} | {:>8} | {:>10.1} | {:>10.1} | {:>6.2}x | {:>6.2}x",
+            fmt_records(scenario.records),
+            p.num_buckets,
+            p.chunk_cap,
+            p.window,
+            p.stash_capacity,
+            p.log2_epsilon(scenario.records),
+            scenario.paper_log2_epsilon,
+            p.overhead_factor(scenario.records),
+            scenario.paper_overhead,
+        );
+    }
+    println!();
+    println!("Derived parameters for the same sizes (StashShuffleParams::derive):");
+    for scenario in StashShuffleParams::table1_scenarios() {
+        let d = StashShuffleParams::derive(scenario.records);
+        println!(
+            "{:>5} | B={:>5} C={:>3} S={:>8} W={} | log2(eps)={:>7.1} overhead={:.2}x",
+            fmt_records(scenario.records),
+            d.num_buckets,
+            d.chunk_cap,
+            d.stash_capacity,
+            d.window,
+            d.log2_epsilon(scenario.records),
+            d.overhead_factor(scenario.records),
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Table 4: Perms — number of Web pages recovered using a naive threshold
+//! or, for each user action, a noisy crowd threshold.
+//!
+//! The workload is the synthetic Chrome-permissions telemetry of
+//! `prochlo-data::perms`; the thresholding parameters are the paper's §5.3
+//! settings (threshold 100, Gaussian σ = 4, plus the random per-crowd drop),
+//! and the plausible-deniability bit flip (10⁻⁴ per action bit) is applied at
+//! the encoder. The absolute page counts depend on the synthetic popularity
+//! distribution; the shape to check is that the noisy-threshold columns sit a
+//! little below the naive-threshold row, far above what local DP recovers
+//! (the paper could not recover more than a few dozen pages with RAPPOR).
+
+use std::collections::HashMap;
+
+use prochlo_bench::{env_usize, print_header};
+use prochlo_core::encoder::flip_bits;
+use prochlo_core::GaussianThresholdPrivacy;
+use prochlo_data::{PermissionAction, PermissionFeature, PermsGenerator};
+use prochlo_stats::{Gaussian, RoundedNormal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let events_count = env_usize("PROCHLO_PERMS_EVENTS", 2_000_000);
+    let naive_threshold = 100u64;
+    let generator = PermsGenerator::table4_default();
+    let mut rng = StdRng::seed_from_u64(0x9e45);
+
+    // Generate events and apply the encoder-side bit flip.
+    let mut events = generator.sample_n(events_count, &mut rng);
+    for event in &mut events {
+        let mut bitmap = [event.actions];
+        flip_bits(&mut bitmap, 1e-4, &mut rng);
+        event.actions = bitmap[0] & 0x0f;
+    }
+
+    // Count ⟨page, feature⟩ and ⟨page, feature, action⟩ crowds.
+    let mut per_pair: HashMap<(usize, PermissionFeature), u64> = HashMap::new();
+    let mut per_action: HashMap<(usize, PermissionFeature, u8), u64> = HashMap::new();
+    for event in &events {
+        *per_pair.entry((event.page, event.feature)).or_insert(0) += 1;
+        for action in PermissionAction::all() {
+            if event.has(action) {
+                *per_action
+                    .entry((event.page, event.feature, action.bit()))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    let drop = RoundedNormal::new(10.0, 4.0);
+    let noise = Gaussian::new(0.0, 4.0);
+    let noisy_count = |count: u64, rng: &mut StdRng| -> bool {
+        let after_drop = count.saturating_sub(drop.sample(rng));
+        after_drop as f64 > naive_threshold as f64 + noise.sample(rng)
+    };
+
+    print_header(
+        &format!("Table 4: Perms pages recovered ({events_count} events)"),
+        &["row", "Geolocation", "Notification", "Audio"],
+    );
+
+    // Row 1: naive threshold on ⟨page, feature⟩ counts.
+    let mut naive = HashMap::new();
+    for ((page, feature), count) in &per_pair {
+        if *count >= naive_threshold {
+            naive
+                .entry(*feature)
+                .or_insert_with(std::collections::HashSet::new)
+                .insert(*page);
+        }
+    }
+    println!(
+        "{:>13} | {:>11} | {:>12} | {:>5}",
+        "Naive Thresh.",
+        naive.get(&PermissionFeature::Geolocation).map_or(0, |s| s.len()),
+        naive.get(&PermissionFeature::Notifications).map_or(0, |s| s.len()),
+        naive.get(&PermissionFeature::AudioCapture).map_or(0, |s| s.len()),
+    );
+
+    // Rows 2-5: noisy crowd threshold per ⟨page, feature, action⟩.
+    for action in PermissionAction::all() {
+        let mut recovered: HashMap<PermissionFeature, std::collections::HashSet<usize>> =
+            HashMap::new();
+        for ((page, feature, bit), count) in &per_action {
+            if *bit == action.bit() && noisy_count(*count, &mut rng) {
+                recovered.entry(*feature).or_default().insert(*page);
+            }
+        }
+        println!(
+            "{:>13} | {:>11} | {:>12} | {:>5}",
+            action.name(),
+            recovered.get(&PermissionFeature::Geolocation).map_or(0, |s| s.len()),
+            recovered.get(&PermissionFeature::Notifications).map_or(0, |s| s.len()),
+            recovered.get(&PermissionFeature::AudioCapture).map_or(0, |s| s.len()),
+        );
+    }
+
+    let privacy = GaussianThresholdPrivacy::perms();
+    println!();
+    println!(
+        "Differential privacy of the released crowd multiset: (epsilon={:.2}, delta=1e-7) \
+         (paper: at least (1.2, 1e-7)); bit-flip local deniability epsilon = {:.2}.",
+        privacy.epsilon_at(1e-7),
+        prochlo_core::privacy::bit_flip_epsilon(1e-4),
+    );
+    println!(
+        "Paper's Table 4 (real Chrome data): naive 6,610/12,200/620; per-action rows \
+         within 10-25% below naive. Check the same ordering and gap here."
+    );
+}

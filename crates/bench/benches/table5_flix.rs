@@ -1,0 +1,110 @@
+//! Table 5: Flix — collaborative-filtering RMSE with and without the
+//! PROCHLO collection path.
+//!
+//! For each corpus size the harness trains the item-item covariance model
+//! twice:
+//!
+//! * **no privacy** — every four-tuple of every user's basket is used;
+//! * **PROCHLO** — each user reports a random, capped subset of four-tuples,
+//!   10 % of movie identifiers are replaced with random ones (the paper's
+//!   2.2-DP randomization of the rated-movie set), and ⟨movie, rating⟩ pairs
+//!   below the crowd threshold are discarded (threshold 20, or 5 for the
+//!   sparse 200-movie corpus, as in the paper's footnote).
+//!
+//! The check is Table 5's: the two RMSE columns should differ by well under
+//! 1 % of the rating scale. Movie counts default to
+//! `PROCHLO_FLIX_MOVIES=200,2000`.
+
+use prochlo_analytics::{CovarianceModel, RatingTuple};
+use prochlo_bench::{env_usize, env_usize_list, print_header, timed};
+use prochlo_data::{Rating, RatingsConfig, RatingsGenerator};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn prochlo_tuples(
+    basket: &[Rating],
+    cap: usize,
+    movie_randomization: f64,
+    movies: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Vec<RatingTuple> {
+    let mut noisy: Vec<Rating> = basket
+        .iter()
+        .map(|r| {
+            let mut rating = *r;
+            if rng.gen::<f64>() < movie_randomization {
+                rating.movie = rng.gen_range(0..movies) as u32;
+            }
+            rating
+        })
+        .collect();
+    noisy.shuffle(rng);
+    let mut tuples = RatingTuple::from_basket(&noisy);
+    tuples.shuffle(rng);
+    tuples.truncate(cap);
+    tuples
+}
+
+fn main() {
+    let movie_counts = env_usize_list("PROCHLO_FLIX_MOVIES", &[200, 2_000]);
+    let users = env_usize("PROCHLO_FLIX_USERS", 4_000);
+
+    print_header(
+        "Table 5: Flix collaborative-filtering RMSE",
+        &[
+            "# movies", "# users", "# reports (prochlo)", "RMSE no privacy", "RMSE prochlo",
+            "delta", "secs",
+        ],
+    );
+
+    for &movies in &movie_counts {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xf11c + movies as u64);
+        let generator = RatingsGenerator::new(RatingsConfig::for_movies(movies, users), 3);
+        let ((rmse_plain, rmse_prochlo, reports), seconds) = timed(|| {
+            let corpus = generator.corpus(&mut rng);
+            let split = corpus.len() * 9 / 10;
+            let (train, test) = corpus.split_at(split);
+
+            // No-privacy model: every tuple.
+            let mut plain = CovarianceModel::new();
+            for basket in train {
+                plain.add_tuples(&RatingTuple::from_basket(basket));
+            }
+
+            // PROCHLO model: capped sampled tuples + movie randomization +
+            // thresholding on item pairs.
+            let threshold = if movies <= 200 { 5 } else { 20 };
+            let mut prochlo = CovarianceModel::new();
+            let mut reports = 0usize;
+            for basket in train {
+                let tuples = prochlo_tuples(basket, 100, 0.10, movies, &mut rng);
+                reports += tuples.len();
+                prochlo.add_tuples(&tuples);
+            }
+            prochlo.apply_threshold(threshold);
+
+            (
+                plain.evaluate_rmse(test),
+                prochlo.evaluate_rmse(test),
+                reports,
+            )
+        });
+        println!(
+            "{:>8} | {:>7} | {:>10} | {:>8.4} | {:>8.4} | {:>+7.4} | {:>6.1}",
+            movies,
+            users,
+            reports,
+            rmse_plain,
+            rmse_prochlo,
+            rmse_prochlo - rmse_plain,
+            seconds,
+        );
+    }
+    println!();
+    println!(
+        "Paper's Table 5 (Netflix-shaped data): 0.9579 vs 0.9595 (200 movies), \
+         0.9414 vs 0.9420 (2K), 0.9222 vs 0.9242 (18K) - i.e. the PROCHLO column \
+         is within ~0.002 RMSE of the unprotected column. Absolute RMSE here \
+         differs (synthetic corpus); the delta column is the result to compare."
+    );
+}

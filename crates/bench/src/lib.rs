@@ -1,0 +1,88 @@
+//! Shared helpers for the benchmark harnesses that regenerate the paper's
+//! tables and figures.
+//!
+//! Every harness prints the same rows/columns as the paper and accepts
+//! environment variables to scale the problem size up towards the paper's
+//! full scale (the defaults are sized so that `cargo bench --workspace`
+//! finishes in minutes on a laptop):
+//!
+//! * `PROCHLO_SCALE_DIV` — divide the paper's problem sizes by this factor
+//!   (Stash Shuffle execution, Vocab timing); default 1000.
+//! * `PROCHLO_FIG5_SIZES` — comma-separated sample sizes for the Figure 5
+//!   utility experiment; default `5000,20000`.
+//! * `PROCHLO_FLIX_MOVIES` — comma-separated movie counts for Table 5;
+//!   default `200,2000`.
+
+use std::time::Instant;
+
+/// Reads an integer environment variable with a default.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a comma-separated list of integers from the environment.
+pub fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|part| part.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|list| !list.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Prints a table header followed by a separator line.
+pub fn print_header(title: &str, columns: &[&str]) {
+    println!();
+    println!("== {title} ==");
+    println!("{}", columns.join(" | "));
+    println!("{}", "-".repeat(columns.iter().map(|c| c.len() + 3).sum::<usize>().max(20)));
+}
+
+/// Formats a number of records compactly (10M, 50K, ...).
+pub fn fmt_records(n: usize) -> String {
+    if n >= 1_000_000 && n % 1_000_000 == 0 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000 && n % 1_000 == 0 {
+        format!("{}K", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_apply() {
+        assert_eq!(env_usize("PROCHLO_DOES_NOT_EXIST", 7), 7);
+        assert_eq!(env_usize_list("PROCHLO_DOES_NOT_EXIST", &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn record_formatting() {
+        assert_eq!(fmt_records(10_000_000), "10M");
+        assert_eq!(fmt_records(50_000), "50K");
+        assert_eq!(fmt_records(123), "123");
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (value, seconds) = timed(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(seconds >= 0.0);
+    }
+}

@@ -1,0 +1,397 @@
+//! The ESA encoder: client-side encoding, fragmentation, randomized response
+//! and nested encryption (§3.2, §4.2).
+
+use rand::Rng;
+
+use prochlo_crypto::ecdh::PublicKey;
+use prochlo_crypto::edwards::Point;
+use prochlo_crypto::elgamal::ElGamalCiphertext;
+use prochlo_crypto::hybrid::HybridCiphertext;
+use prochlo_crypto::{mle, shamir};
+
+use crate::error::PipelineError;
+use crate::record::{AnalyzerPayload, ClientReport, CrowdId, ShufflerEnvelope, TransportMetadata};
+use crate::wire::pad_payload;
+
+/// Associated-data labels binding each nested-encryption layer to its role.
+pub const SHUFFLER_AAD: &[u8] = b"prochlo-layer-shuffler";
+/// Associated-data label for the analyzer (inner) layer.
+pub const ANALYZER_AAD: &[u8] = b"prochlo-layer-analyzer";
+
+/// The public keys a client's software ships with. Installing software with
+/// these keys embedded is how users state their trust assumptions (§3.1).
+#[derive(Debug, Clone)]
+pub struct ClientKeys {
+    /// The shuffler's hybrid-encryption public key (outer layer).
+    pub shuffler: PublicKey,
+    /// The analyzer's hybrid-encryption public key (inner layer).
+    pub analyzer: PublicKey,
+    /// Shuffler 2's El Gamal public key, present when the pipeline uses
+    /// blinded crowd IDs (§4.3).
+    pub crowd_blinding: Option<Point>,
+}
+
+/// How a report should be assigned to a crowd.
+#[derive(Debug, Clone, Copy)]
+pub enum CrowdStrategy<'a> {
+    /// No crowd ID: the report bypasses thresholding.
+    None,
+    /// Attach `SHA-256(label)`; the shuffler thresholds on the hash.
+    Hash(&'a [u8]),
+    /// Attach an El Gamal encryption of the hashed-to-group label under
+    /// Shuffler 2's key; requires [`ClientKeys::crowd_blinding`].
+    Blind(&'a [u8]),
+}
+
+/// A configured client-side encoder.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    keys: ClientKeys,
+    payload_size: usize,
+}
+
+impl Encoder {
+    /// Creates an encoder. `payload_size` is the fixed data size every report
+    /// is padded to (the paper uses 64-byte payloads in its evaluation).
+    pub fn new(keys: ClientKeys, payload_size: usize) -> Self {
+        Self { keys, payload_size }
+    }
+
+    /// The configured payload size.
+    pub fn payload_size(&self) -> usize {
+        self.payload_size
+    }
+
+    /// Encodes a plain report: the data (padded) is readable by the analyzer
+    /// once the shuffler has forwarded it.
+    pub fn encode_plain<R: Rng + ?Sized>(
+        &self,
+        data: &[u8],
+        crowd: CrowdStrategy<'_>,
+        client_index: u64,
+        rng: &mut R,
+    ) -> Result<ClientReport, PipelineError> {
+        let padded = pad_payload(data, self.payload_size)?;
+        self.seal(AnalyzerPayload::Plain(padded), crowd, client_index, rng)
+    }
+
+    /// Encodes a secret-shared report (§4.2): the analyzer can only read the
+    /// value once `threshold` distinct clients have reported the same value.
+    pub fn encode_secret_shared<R: Rng + ?Sized>(
+        &self,
+        data: &[u8],
+        threshold: usize,
+        crowd: CrowdStrategy<'_>,
+        client_index: u64,
+        rng: &mut R,
+    ) -> Result<ClientReport, PipelineError> {
+        let padded = pad_payload(data, self.payload_size)?;
+        let ciphertext = mle::encrypt(&padded);
+        let key = mle::derive_key(&padded);
+        let share = shamir::share_secret(&key, threshold, rng);
+        let payload = AnalyzerPayload::SecretShared {
+            ciphertext: ciphertext.to_bytes(),
+            share: share.to_bytes().to_vec(),
+        };
+        self.seal(payload, crowd, client_index, rng)
+    }
+
+    /// Applies the crowd strategy and both encryption layers.
+    fn seal<R: Rng + ?Sized>(
+        &self,
+        payload: AnalyzerPayload,
+        crowd: CrowdStrategy<'_>,
+        client_index: u64,
+        rng: &mut R,
+    ) -> Result<ClientReport, PipelineError> {
+        let crowd_id = match crowd {
+            CrowdStrategy::None => CrowdId::None,
+            CrowdStrategy::Hash(label) => CrowdId::hashed(label),
+            CrowdStrategy::Blind(label) => {
+                let pk = self.keys.crowd_blinding.as_ref().ok_or(
+                    PipelineError::InvalidConfig(
+                        "blinded crowd IDs require the split-shuffler El Gamal key",
+                    ),
+                )?;
+                CrowdId::Blinded(Box::new(ElGamalCiphertext::encrypt_hashed(rng, pk, label)))
+            }
+        };
+
+        // Inner layer: only the analyzer can open.
+        let inner =
+            HybridCiphertext::seal(rng, &self.keys.analyzer, ANALYZER_AAD, &payload.to_bytes())?;
+        // Outer layer: only the shuffler can open.
+        let envelope = ShufflerEnvelope {
+            crowd_id,
+            inner: inner.to_bytes(),
+        };
+        let outer =
+            HybridCiphertext::seal(rng, &self.keys.shuffler, SHUFFLER_AAD, &envelope.to_bytes())?;
+        Ok(ClientReport {
+            outer,
+            metadata: TransportMetadata::synthetic(client_index),
+        })
+    }
+}
+
+/// Fragments a set of items into all unordered pairs, the encoding the paper
+/// describes for correlation analyses (movie ratings in §3.2 / §5.5): each
+/// pair is reported independently so no single report links a user's full
+/// set.
+pub fn fragment_pairs<T: Clone>(items: &[T]) -> Vec<(T, T)> {
+    let mut pairs = Vec::with_capacity(items.len().saturating_mul(items.len().saturating_sub(1)) / 2);
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            pairs.push((items[i].clone(), items[j].clone()));
+        }
+    }
+    pairs
+}
+
+/// Fragments an ordered sequence into disjoint windows of `m` items (the
+/// Suggest encoding of §5.4); a trailing partial window is dropped so every
+/// fragment carries exactly the same amount of information.
+pub fn fragment_windows<T: Clone>(sequence: &[T], m: usize) -> Vec<Vec<T>> {
+    if m == 0 {
+        return Vec::new();
+    }
+    sequence
+        .chunks_exact(m)
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+/// Flips each bit of `bitmap` independently with the given probability — the
+/// plausible-deniability noise applied to the Perms action bitmaps (§5.3).
+pub fn flip_bits<R: Rng + ?Sized>(bitmap: &mut [u8], flip_probability: f64, rng: &mut R) {
+    for byte in bitmap.iter_mut() {
+        for bit in 0..8 {
+            if rng.gen::<f64>() < flip_probability {
+                *byte ^= 1 << bit;
+            }
+        }
+    }
+}
+
+/// Textbook binary randomized response (Warner 1965): reports the true value
+/// with probability `e^ε / (e^ε + 1)`, providing ε-local differential privacy.
+pub fn randomized_response_bool<R: Rng + ?Sized>(
+    true_value: bool,
+    epsilon: f64,
+    rng: &mut R,
+) -> bool {
+    let p_truth = epsilon.exp() / (epsilon.exp() + 1.0);
+    if rng.gen::<f64>() < p_truth {
+        true_value
+    } else {
+        !true_value
+    }
+}
+
+/// k-ary randomized response over the domain `0..k`: reports the true value
+/// with probability `e^ε / (e^ε + k − 1)`, otherwise a uniformly random other
+/// value. Provides ε-local differential privacy for a single report.
+pub fn randomized_response_kary<R: Rng + ?Sized>(
+    true_value: usize,
+    k: usize,
+    epsilon: f64,
+    rng: &mut R,
+) -> usize {
+    assert!(k >= 2, "domain must have at least two values");
+    assert!(true_value < k, "true value out of domain");
+    let p_truth = epsilon.exp() / (epsilon.exp() + (k as f64) - 1.0);
+    if rng.gen::<f64>() < p_truth {
+        true_value
+    } else {
+        // Uniform over the other k-1 values.
+        let mut other = rng.gen_range(0..k - 1);
+        if other >= true_value {
+            other += 1;
+        }
+        other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prochlo_crypto::hybrid::HybridKeypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys(rng: &mut StdRng) -> (ClientKeys, HybridKeypair, HybridKeypair) {
+        let shuffler = HybridKeypair::generate(rng);
+        let analyzer = HybridKeypair::generate(rng);
+        (
+            ClientKeys {
+                shuffler: *shuffler.public_key(),
+                analyzer: *analyzer.public_key(),
+                crowd_blinding: None,
+            },
+            shuffler,
+            analyzer,
+        )
+    }
+
+    #[test]
+    fn plain_report_roundtrips_through_both_layers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (client_keys, shuffler, analyzer) = keys(&mut rng);
+        let encoder = Encoder::new(client_keys, 64);
+        let report = encoder
+            .encode_plain(b"www.example.com", CrowdStrategy::Hash(b"crowd-A"), 7, &mut rng)
+            .unwrap();
+
+        // Shuffler peels the outer layer and sees the crowd ID but not data.
+        let envelope_bytes = report.outer.open(shuffler.secret(), SHUFFLER_AAD).unwrap();
+        let envelope = ShufflerEnvelope::from_bytes(&envelope_bytes).unwrap();
+        assert_eq!(envelope.crowd_id, CrowdId::hashed(b"crowd-A"));
+
+        // Analyzer opens the inner layer.
+        let inner = HybridCiphertext::from_bytes(&envelope.inner).unwrap();
+        let payload_bytes = inner.open(analyzer.secret(), ANALYZER_AAD).unwrap();
+        match AnalyzerPayload::from_bytes(&payload_bytes).unwrap() {
+            AnalyzerPayload::Plain(padded) => {
+                assert_eq!(crate::wire::unpad_payload(&padded).unwrap(), b"www.example.com");
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shuffler_cannot_read_inner_layer() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (client_keys, shuffler, _analyzer) = keys(&mut rng);
+        let encoder = Encoder::new(client_keys, 32);
+        let report = encoder
+            .encode_plain(b"secret", CrowdStrategy::None, 0, &mut rng)
+            .unwrap();
+        let envelope_bytes = report.outer.open(shuffler.secret(), SHUFFLER_AAD).unwrap();
+        let envelope = ShufflerEnvelope::from_bytes(&envelope_bytes).unwrap();
+        let inner = HybridCiphertext::from_bytes(&envelope.inner).unwrap();
+        assert!(inner.open(shuffler.secret(), ANALYZER_AAD).is_err());
+    }
+
+    #[test]
+    fn analyzer_cannot_open_outer_layer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (client_keys, _shuffler, analyzer) = keys(&mut rng);
+        let encoder = Encoder::new(client_keys, 32);
+        let report = encoder
+            .encode_plain(b"data", CrowdStrategy::None, 0, &mut rng)
+            .unwrap();
+        assert!(report.outer.open(analyzer.secret(), SHUFFLER_AAD).is_err());
+    }
+
+    #[test]
+    fn reports_have_uniform_size() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (client_keys, _s, _a) = keys(&mut rng);
+        let encoder = Encoder::new(client_keys, 64);
+        let a = encoder
+            .encode_plain(b"a", CrowdStrategy::Hash(b"c"), 0, &mut rng)
+            .unwrap();
+        let b = encoder
+            .encode_plain(b"a much longer string of data here", CrowdStrategy::Hash(b"c"), 1, &mut rng)
+            .unwrap();
+        assert_eq!(a.wire_len(), b.wire_len());
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (client_keys, _s, _a) = keys(&mut rng);
+        let encoder = Encoder::new(client_keys, 16);
+        assert!(matches!(
+            encoder.encode_plain(&[0u8; 17], CrowdStrategy::None, 0, &mut rng),
+            Err(PipelineError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn blind_crowd_requires_elgamal_key() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (client_keys, _s, _a) = keys(&mut rng);
+        let encoder = Encoder::new(client_keys, 16);
+        assert!(matches!(
+            encoder.encode_plain(b"x", CrowdStrategy::Blind(b"c"), 0, &mut rng),
+            Err(PipelineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn secret_shared_reports_share_the_same_ciphertext() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (client_keys, shuffler, analyzer) = keys(&mut rng);
+        let encoder = Encoder::new(client_keys, 32);
+        let open_payload = |report: &ClientReport| {
+            let env_bytes = report.outer.open(shuffler.secret(), SHUFFLER_AAD).unwrap();
+            let env = ShufflerEnvelope::from_bytes(&env_bytes).unwrap();
+            let inner = HybridCiphertext::from_bytes(&env.inner).unwrap();
+            let payload = inner.open(analyzer.secret(), ANALYZER_AAD).unwrap();
+            AnalyzerPayload::from_bytes(&payload).unwrap()
+        };
+        let r1 = encoder
+            .encode_secret_shared(b"rare-word", 3, CrowdStrategy::None, 0, &mut rng)
+            .unwrap();
+        let r2 = encoder
+            .encode_secret_shared(b"rare-word", 3, CrowdStrategy::None, 1, &mut rng)
+            .unwrap();
+        match (open_payload(&r1), open_payload(&r2)) {
+            (
+                AnalyzerPayload::SecretShared { ciphertext: c1, share: s1 },
+                AnalyzerPayload::SecretShared { ciphertext: c2, share: s2 },
+            ) => {
+                assert_eq!(c1, c2, "same value must give the same MLE ciphertext");
+                assert_ne!(s1, s2, "shares from different clients must differ");
+            }
+            other => panic!("unexpected payloads {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fragment_pairs_produces_all_combinations() {
+        let pairs = fragment_pairs(&[1, 2, 3, 4]);
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.contains(&(1, 4)));
+        assert!(pairs.contains(&(2, 3)));
+        assert!(fragment_pairs::<u32>(&[]).is_empty());
+        assert!(fragment_pairs(&[1]).is_empty());
+    }
+
+    #[test]
+    fn fragment_windows_is_disjoint_and_uniform() {
+        let windows = fragment_windows(&[1, 2, 3, 4, 5, 6, 7], 3);
+        assert_eq!(windows, vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert!(fragment_windows(&[1, 2], 3).is_empty());
+        assert!(fragment_windows(&[1, 2], 0).is_empty());
+    }
+
+    #[test]
+    fn flip_bits_respects_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut bitmap = [0b1010_1010u8; 4];
+        let original = bitmap;
+        flip_bits(&mut bitmap, 0.0, &mut rng);
+        assert_eq!(bitmap, original);
+        flip_bits(&mut bitmap, 1.0, &mut rng);
+        assert_eq!(bitmap, [0b0101_0101u8; 4]);
+    }
+
+    #[test]
+    fn randomized_response_statistics() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // With ε = 2, truth probability is e²/(e²+1) ≈ 0.881.
+        let trials = 50_000;
+        let truthful = (0..trials)
+            .filter(|_| randomized_response_bool(true, 2.0, &mut rng))
+            .count();
+        let rate = truthful as f64 / trials as f64;
+        assert!((rate - 0.881).abs() < 0.01, "rate {rate}");
+        // k-ary RR stays in the domain and is mostly truthful for large ε.
+        for _ in 0..1000 {
+            let v = randomized_response_kary(3, 10, 8.0, &mut rng);
+            assert!(v < 10);
+        }
+    }
+}

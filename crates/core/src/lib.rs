@@ -1,0 +1,43 @@
+//! The Encode–Shuffle–Analyze (ESA) pipeline — Prochlo's primary contribution.
+//!
+//! The crate is organised around the three ESA roles of the paper (§3):
+//!
+//! * [`encoder`] — runs on the client. It scopes and fragments the monitored
+//!   data, optionally adds randomized-response noise, attaches a crowd ID
+//!   (plain, hashed, or El Gamal-blinded for the split shuffler), optionally
+//!   applies the secret-share encoding of §4.2, and wraps everything in
+//!   *nested encryption*: an inner layer only the analyzer can open, inside
+//!   an outer layer only the shuffler can open.
+//! * [`shuffler`] — a standalone intermediary. It batches reports, strips
+//!   transport metadata, removes the outer encryption layer, applies
+//!   randomized cardinality thresholding per crowd (drop ⌊N(D,σ²)⌉ reports,
+//!   then require the remaining count to exceed T plus Gaussian noise), and
+//!   shuffles the surviving inner ciphertexts — either with a trusted
+//!   in-memory shuffle or with the SGX [`prochlo_shuffle::StashShuffle`].
+//!   [`shuffler::split`] implements the two-shuffler blinded-crowd-ID
+//!   deployment of §4.3.
+//! * [`analyzer`] — decrypts the inner layer, materialises a database,
+//!   recovers secret-shared values once enough shares arrive, and releases
+//!   results (optionally with differential privacy).
+//!
+//! [`privacy`] computes the differential-privacy guarantees each stage
+//! provides (the (2.25, 10⁻⁶) figure of §5, the (1.2, 10⁻⁷) figure of §5.3,
+//! randomized-response ε, and their composition); [`pipeline`] wires the
+//! three stages together for in-process experiments and examples.
+
+pub mod analyzer;
+pub mod encoder;
+pub mod error;
+pub mod pipeline;
+pub mod privacy;
+pub mod record;
+pub mod shuffler;
+pub mod wire;
+
+pub use analyzer::{Analyzer, AnalyzerDatabase};
+pub use encoder::{ClientKeys, CrowdStrategy, Encoder};
+pub use error::PipelineError;
+pub use pipeline::{Pipeline, PipelineReport};
+pub use privacy::{GaussianThresholdPrivacy, PrivacyAccountant, PrivacyGuarantee};
+pub use record::{AnalyzerPayload, ClientReport, CrowdId, ShufflerEnvelope, TransportMetadata};
+pub use shuffler::{ShuffleBackend, ShuffledBatch, Shuffler, ShufflerConfig, ShufflerStats};

@@ -1,0 +1,265 @@
+//! In-process orchestration of a full ESA pipeline.
+//!
+//! [`Pipeline`] owns a shuffler and an analyzer, hands out the matching
+//! [`ClientKeys`] for encoders, and runs batches end to end. It exists so
+//! that examples, integration tests and the benchmark harnesses can stand up
+//! a complete Encode–Shuffle–Analyze deployment in a few lines; a production
+//! deployment would place each role in a separate service (the paper's
+//! implementation uses gRPC between them).
+
+use rand::Rng;
+
+use prochlo_crypto::hybrid::HybridKeypair;
+
+use crate::analyzer::{Analyzer, AnalyzerDatabase};
+use crate::encoder::{ClientKeys, Encoder};
+use crate::error::PipelineError;
+use crate::record::ClientReport;
+use crate::shuffler::split::SplitShuffler;
+use crate::shuffler::{Shuffler, ShufflerConfig, ShufflerStats};
+
+/// A single-shuffler ESA deployment running in one process.
+#[derive(Debug)]
+pub struct Pipeline {
+    shuffler: Shuffler,
+    analyzer: Analyzer,
+    payload_size: usize,
+}
+
+/// The outcome of running one batch through a pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The database materialized by the analyzer.
+    pub database: AnalyzerDatabase,
+    /// What the shuffler did with the batch.
+    pub shuffler_stats: ShufflerStats,
+}
+
+impl Pipeline {
+    /// Builds a pipeline with fresh keys for both roles.
+    pub fn new<R: Rng + ?Sized>(config: ShufflerConfig, payload_size: usize, rng: &mut R) -> Self {
+        let shuffler = Shuffler::new(config, rng);
+        let analyzer = Analyzer::new(HybridKeypair::generate(rng));
+        Self {
+            shuffler,
+            analyzer,
+            payload_size,
+        }
+    }
+
+    /// Sets the number of shares the analyzer needs to recover a
+    /// secret-shared value.
+    pub fn with_share_threshold(mut self, threshold: usize) -> Self {
+        self.analyzer = self.analyzer.with_share_threshold(threshold);
+        self
+    }
+
+    /// The keys a client encoder needs for this pipeline.
+    pub fn client_keys(&self) -> ClientKeys {
+        ClientKeys {
+            shuffler: *self.shuffler.public_key(),
+            analyzer: *self.analyzer.public_key(),
+            crowd_blinding: None,
+        }
+    }
+
+    /// A ready-to-use encoder for this pipeline.
+    pub fn encoder(&self) -> Encoder {
+        Encoder::new(self.client_keys(), self.payload_size)
+    }
+
+    /// The shuffler role (e.g. to inspect its enclave).
+    pub fn shuffler(&self) -> &Shuffler {
+        &self.shuffler
+    }
+
+    /// The analyzer role.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Runs one batch of client reports through shuffling and analysis.
+    pub fn run_batch<R: Rng + ?Sized>(
+        &self,
+        reports: &[ClientReport],
+        rng: &mut R,
+    ) -> Result<PipelineReport, PipelineError> {
+        let batch = self.shuffler.process_batch(reports, rng)?;
+        let database = self.analyzer.ingest_items(&batch.items)?;
+        Ok(PipelineReport {
+            database,
+            shuffler_stats: batch.stats,
+        })
+    }
+}
+
+/// A two-shuffler (blinded crowd ID) ESA deployment running in one process.
+#[derive(Debug)]
+pub struct SplitPipeline {
+    shufflers: SplitShuffler,
+    analyzer: Analyzer,
+    payload_size: usize,
+}
+
+impl SplitPipeline {
+    /// Builds a split pipeline with fresh keys for all three services.
+    pub fn new<R: Rng + ?Sized>(config: ShufflerConfig, payload_size: usize, rng: &mut R) -> Self {
+        Self {
+            shufflers: SplitShuffler::new(config, rng),
+            analyzer: Analyzer::new(HybridKeypair::generate(rng)),
+            payload_size,
+        }
+    }
+
+    /// Sets the analyzer's secret-share threshold.
+    pub fn with_share_threshold(mut self, threshold: usize) -> Self {
+        self.analyzer = self.analyzer.with_share_threshold(threshold);
+        self
+    }
+
+    /// The keys a client encoder needs for this pipeline (includes the
+    /// El Gamal key for crowd-ID blinding).
+    pub fn client_keys(&self) -> ClientKeys {
+        ClientKeys {
+            shuffler: *self.shufflers.one.public_key(),
+            analyzer: *self.analyzer.public_key(),
+            crowd_blinding: Some(*self.shufflers.two.elgamal_public()),
+        }
+    }
+
+    /// A ready-to-use encoder for this pipeline.
+    pub fn encoder(&self) -> Encoder {
+        Encoder::new(self.client_keys(), self.payload_size)
+    }
+
+    /// The analyzer role.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Runs one batch through both shufflers and the analyzer.
+    pub fn run_batch<R: Rng + ?Sized>(
+        &self,
+        reports: &[ClientReport],
+        rng: &mut R,
+    ) -> Result<PipelineReport, PipelineError> {
+        let (items, stats) = self.shufflers.process_batch(reports, rng)?;
+        let database = self.analyzer.ingest_items(&items)?;
+        Ok(PipelineReport {
+            database,
+            shuffler_stats: stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::CrowdStrategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn end_to_end_histogram_with_thresholding() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pipeline = Pipeline::new(ShufflerConfig::default(), 32, &mut rng);
+        let encoder = pipeline.encoder();
+        let mut reports = Vec::new();
+        // 120 clients report "chrome", 6 report "obscure-browser".
+        for i in 0..120u64 {
+            reports.push(
+                encoder
+                    .encode_plain(b"chrome", CrowdStrategy::Hash(b"chrome"), i, &mut rng)
+                    .unwrap(),
+            );
+        }
+        for i in 0..6u64 {
+            reports.push(
+                encoder
+                    .encode_plain(b"obscure-browser", CrowdStrategy::Hash(b"obscure-browser"), 200 + i, &mut rng)
+                    .unwrap(),
+            );
+        }
+        let report = pipeline.run_batch(&reports, &mut rng).unwrap();
+        // The popular value survives (minus the random drop); the rare one is
+        // suppressed entirely by thresholding.
+        assert!(report.database.count(b"chrome") >= 100);
+        assert_eq!(report.database.count(b"obscure-browser"), 0);
+        assert_eq!(report.shuffler_stats.crowds_forwarded, 1);
+    }
+
+    #[test]
+    fn end_to_end_secret_shared_vocabulary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pipeline = Pipeline::new(ShufflerConfig::default().without_thresholding(), 32, &mut rng)
+            .with_share_threshold(10);
+        let encoder = pipeline.encoder();
+        let mut reports = Vec::new();
+        for i in 0..25u64 {
+            reports.push(
+                encoder
+                    .encode_secret_shared(b"frequent-word", 10, CrowdStrategy::None, i, &mut rng)
+                    .unwrap(),
+            );
+        }
+        for i in 0..4u64 {
+            reports.push(
+                encoder
+                    .encode_secret_shared(b"rare-word", 10, CrowdStrategy::None, 100 + i, &mut rng)
+                    .unwrap(),
+            );
+        }
+        let report = pipeline.run_batch(&reports, &mut rng).unwrap();
+        // The frequent word crosses the share threshold and is recovered; the
+        // rare word stays encrypted even though its reports were forwarded.
+        assert_eq!(report.database.count(b"frequent-word"), 25);
+        assert_eq!(report.database.count(b"rare-word"), 0);
+        assert_eq!(report.database.pending_secret_groups(), 1);
+        assert_eq!(report.database.pending_secret_reports(), 4);
+    }
+
+    #[test]
+    fn split_pipeline_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pipeline = SplitPipeline::new(ShufflerConfig::default(), 32, &mut rng);
+        let encoder = pipeline.encoder();
+        let mut reports = Vec::new();
+        for i in 0..80u64 {
+            reports.push(
+                encoder
+                    .encode_plain(b"the", CrowdStrategy::Blind(b"the"), i, &mut rng)
+                    .unwrap(),
+            );
+        }
+        for i in 0..5u64 {
+            reports.push(
+                encoder
+                    .encode_plain(b"xylograph", CrowdStrategy::Blind(b"xylograph"), 500 + i, &mut rng)
+                    .unwrap(),
+            );
+        }
+        let report = pipeline.run_batch(&reports, &mut rng).unwrap();
+        assert!(report.database.count(b"the") >= 60);
+        assert_eq!(report.database.count(b"xylograph"), 0);
+        assert_eq!(report.shuffler_stats.crowds_seen, 2);
+        assert_eq!(report.shuffler_stats.crowds_forwarded, 1);
+    }
+
+    #[test]
+    fn pipeline_report_combines_stats_and_database() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pipeline = Pipeline::new(ShufflerConfig::default().without_thresholding(), 16, &mut rng);
+        let encoder = pipeline.encoder();
+        let reports: Vec<_> = (0..10u64)
+            .map(|i| {
+                encoder
+                    .encode_plain(b"v", CrowdStrategy::None, i, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        let out = pipeline.run_batch(&reports, &mut rng).unwrap();
+        assert_eq!(out.shuffler_stats.received, 10);
+        assert_eq!(out.shuffler_stats.forwarded, 10);
+        assert_eq!(out.database.rows().len(), 10);
+    }
+}

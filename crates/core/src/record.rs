@@ -1,0 +1,283 @@
+//! Report formats exchanged between the ESA stages.
+//!
+//! A client report is built inside-out:
+//!
+//! 1. an [`AnalyzerPayload`] (plain data or the secret-share encoding of
+//!    §4.2) is serialized and sealed to the **analyzer's** public key;
+//! 2. the resulting inner ciphertext, together with a [`CrowdId`], forms the
+//!    [`ShufflerEnvelope`], which is sealed to the **shuffler's** public key;
+//! 3. the outer ciphertext travels with [`TransportMetadata`] (client id,
+//!    arrival order, source address, timestamp) that the shuffler strips.
+//!
+//! This is the paper's nested encryption: the shuffler learns crowd IDs and
+//! sizes but never payloads; the analyzer learns payloads but never which
+//! client, when, or from where.
+
+use prochlo_crypto::elgamal::ElGamalCiphertext;
+use prochlo_crypto::hybrid::HybridCiphertext;
+use prochlo_crypto::shamir::Share;
+use prochlo_crypto::sha256::sha256;
+
+use crate::error::PipelineError;
+use crate::wire::{put_bytes, put_u8, Reader};
+
+/// The crowd identifier attached to a report, which the shuffler uses for
+/// cardinality thresholding (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrowdId {
+    /// No crowd: the report bypasses thresholding (the "NoCrowd" experiment).
+    None,
+    /// A hash of the crowd label; the shuffler can count equal values but a
+    /// malicious shuffler may dictionary-attack guessable labels.
+    Hashed([u8; 32]),
+    /// An El Gamal encryption of the hashed-to-group crowd label under
+    /// Shuffler 2's key; requires the split-shuffler deployment (§4.3).
+    Blinded(Box<ElGamalCiphertext>),
+}
+
+impl CrowdId {
+    /// Builds a hashed crowd ID from a label.
+    pub fn hashed(label: &[u8]) -> Self {
+        CrowdId::Hashed(sha256(label))
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            CrowdId::None => put_u8(&mut out, 0),
+            CrowdId::Hashed(h) => {
+                put_u8(&mut out, 1);
+                out.extend_from_slice(h);
+            }
+            CrowdId::Blinded(ct) => {
+                put_u8(&mut out, 2);
+                out.extend_from_slice(&ct.to_bytes());
+            }
+        }
+        out
+    }
+
+    fn from_reader(reader: &mut Reader<'_>) -> Result<Self, PipelineError> {
+        match reader.get_u8()? {
+            0 => Ok(CrowdId::None),
+            1 => {
+                let bytes = reader.get_array(32)?;
+                let mut h = [0u8; 32];
+                h.copy_from_slice(&bytes);
+                Ok(CrowdId::Hashed(h))
+            }
+            2 => {
+                let bytes = reader.get_array(64)?;
+                let ct = ElGamalCiphertext::from_bytes(&bytes)?;
+                Ok(CrowdId::Blinded(Box::new(ct)))
+            }
+            _ => Err(PipelineError::MalformedReport("unknown crowd-id tag")),
+        }
+    }
+}
+
+/// The innermost payload, visible only to the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzerPayload {
+    /// Plain (padded) data.
+    Plain(Vec<u8>),
+    /// The secret-share encoding of §4.2: a deterministic message-locked
+    /// ciphertext plus one Shamir share of its key.
+    SecretShared {
+        /// Serialized [`prochlo_crypto::mle::MleCiphertext`].
+        ciphertext: Vec<u8>,
+        /// Serialized [`Share`] (64 bytes).
+        share: Vec<u8>,
+    },
+}
+
+impl AnalyzerPayload {
+    /// Serializes the payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            AnalyzerPayload::Plain(data) => {
+                put_u8(&mut out, 0);
+                put_bytes(&mut out, data);
+            }
+            AnalyzerPayload::SecretShared { ciphertext, share } => {
+                put_u8(&mut out, 1);
+                put_bytes(&mut out, ciphertext);
+                put_bytes(&mut out, share);
+            }
+        }
+        out
+    }
+
+    /// Parses a payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PipelineError> {
+        let mut reader = Reader::new(bytes);
+        let payload = match reader.get_u8()? {
+            0 => AnalyzerPayload::Plain(reader.get_bytes()?),
+            1 => AnalyzerPayload::SecretShared {
+                ciphertext: reader.get_bytes()?,
+                share: reader.get_bytes()?,
+            },
+            _ => return Err(PipelineError::MalformedReport("unknown payload tag")),
+        };
+        if !reader.is_empty() {
+            return Err(PipelineError::MalformedReport("trailing payload bytes"));
+        }
+        Ok(payload)
+    }
+
+    /// Parses the share of a secret-shared payload.
+    pub fn parse_share(share_bytes: &[u8]) -> Result<Share, PipelineError> {
+        Ok(Share::from_bytes(share_bytes)?)
+    }
+}
+
+/// What the shuffler sees after removing the outer encryption layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShufflerEnvelope {
+    /// The crowd ID used for thresholding.
+    pub crowd_id: CrowdId,
+    /// The inner ciphertext (sealed to the analyzer).
+    pub inner: Vec<u8>,
+}
+
+impl ShufflerEnvelope {
+    /// Serializes the envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_bytes(&mut out, &self.crowd_id.to_bytes());
+        put_bytes(&mut out, &self.inner);
+        out
+    }
+
+    /// Parses an envelope.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PipelineError> {
+        let mut reader = Reader::new(bytes);
+        let crowd_bytes = reader.get_bytes()?;
+        let mut crowd_reader = Reader::new(&crowd_bytes);
+        let crowd_id = CrowdId::from_reader(&mut crowd_reader)?;
+        let inner = reader.get_bytes()?;
+        if !reader.is_empty() {
+            return Err(PipelineError::MalformedReport("trailing envelope bytes"));
+        }
+        Ok(Self { crowd_id, inner })
+    }
+}
+
+/// Transport metadata that accompanies a report on the wire and that the
+/// shuffler must strip (§3.3: "timestamps, source IP addresses, routing
+/// paths").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportMetadata {
+    /// A client identifier as seen by the transport (e.g. a connection id).
+    pub client_label: String,
+    /// Arrival order at the shuffler's front end.
+    pub arrival_order: u64,
+    /// Source IPv4 address.
+    pub source_ip: [u8; 4],
+    /// Arrival timestamp (seconds).
+    pub timestamp_secs: u64,
+}
+
+impl TransportMetadata {
+    /// Metadata for tests and simulations.
+    pub fn synthetic(client_index: u64) -> Self {
+        Self {
+            client_label: format!("client-{client_index}"),
+            arrival_order: client_index,
+            source_ip: [
+                10,
+                (client_index >> 16) as u8,
+                (client_index >> 8) as u8,
+                client_index as u8,
+            ],
+            timestamp_secs: 1_700_000_000 + client_index,
+        }
+    }
+}
+
+/// A complete client report as transmitted to the shuffler.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// The outer ciphertext (sealed to the shuffler, containing a serialized
+    /// [`ShufflerEnvelope`]).
+    pub outer: HybridCiphertext,
+    /// Transport metadata the shuffler strips.
+    pub metadata: TransportMetadata,
+}
+
+impl ClientReport {
+    /// Size of the report on the wire (ciphertext only).
+    pub fn wire_len(&self) -> usize {
+        self.outer.wire_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prochlo_crypto::elgamal::{ElGamalCiphertext, ElGamalKeypair};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crowd_id_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys = ElGamalKeypair::generate(&mut rng);
+        let blinded = CrowdId::Blinded(Box::new(ElGamalCiphertext::encrypt_hashed(
+            &mut rng,
+            keys.public_key(),
+            b"app-123",
+        )));
+        for crowd in [CrowdId::None, CrowdId::hashed(b"api-17"), blinded] {
+            let env = ShufflerEnvelope {
+                crowd_id: crowd.clone(),
+                inner: vec![1, 2, 3],
+            };
+            let parsed = ShufflerEnvelope::from_bytes(&env.to_bytes()).unwrap();
+            assert_eq!(parsed, env);
+        }
+    }
+
+    #[test]
+    fn hashed_crowd_ids_are_equal_for_equal_labels() {
+        assert_eq!(CrowdId::hashed(b"x"), CrowdId::hashed(b"x"));
+        assert_ne!(CrowdId::hashed(b"x"), CrowdId::hashed(b"y"));
+    }
+
+    #[test]
+    fn payload_roundtrips() {
+        let plain = AnalyzerPayload::Plain(vec![9; 40]);
+        assert_eq!(
+            AnalyzerPayload::from_bytes(&plain.to_bytes()).unwrap(),
+            plain
+        );
+        let shared = AnalyzerPayload::SecretShared {
+            ciphertext: vec![1; 30],
+            share: vec![2; 64],
+        };
+        assert_eq!(
+            AnalyzerPayload::from_bytes(&shared.to_bytes()).unwrap(),
+            shared
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(AnalyzerPayload::from_bytes(&[]).is_err());
+        assert!(AnalyzerPayload::from_bytes(&[7, 0, 0, 0, 0]).is_err());
+        let mut valid = AnalyzerPayload::Plain(vec![1, 2, 3]).to_bytes();
+        valid.push(0xff);
+        assert!(AnalyzerPayload::from_bytes(&valid).is_err());
+        assert!(ShufflerEnvelope::from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn synthetic_metadata_is_distinct_per_client() {
+        let a = TransportMetadata::synthetic(1);
+        let b = TransportMetadata::synthetic(2);
+        assert_ne!(a.client_label, b.client_label);
+        assert_ne!(a.source_ip, b.source_ip);
+        assert_ne!(a.arrival_order, b.arrival_order);
+    }
+}

@@ -1,0 +1,519 @@
+//! The ESA shuffler: batching, metadata stripping, randomized cardinality
+//! thresholding and oblivious shuffling (§3.3, §3.5, §4.1).
+
+pub mod split;
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use prochlo_crypto::hybrid::HybridKeypair;
+use prochlo_crypto::PublicKey;
+use prochlo_sgx::{CpuKey, Enclave, EnclaveConfig, Quote};
+use prochlo_shuffle::stash::identity_ingress;
+use prochlo_shuffle::{StashShuffle, StashShuffleParams};
+use prochlo_stats::{Gaussian, RoundedNormal};
+
+use crate::encoder::SHUFFLER_AAD;
+use crate::error::PipelineError;
+use crate::record::{ClientReport, CrowdId, ShufflerEnvelope};
+
+/// Which shuffling backend the shuffler uses once the batch has been peeled
+/// and thresholded.
+#[derive(Debug, Clone)]
+pub enum ShuffleBackend {
+    /// A trusted in-memory Fisher–Yates shuffle (a shuffler hosted by an
+    /// independent third party, per §3.3).
+    Trusted,
+    /// The SGX-hardened Stash Shuffle (§4.1.4); parameters are derived from
+    /// the batch size when not given.
+    Sgx {
+        /// Explicit Stash Shuffle parameters; `None` derives them per batch.
+        params: Option<StashShuffleParams>,
+    },
+}
+
+/// Configuration of the shuffler's thresholding and batching behaviour.
+///
+/// The defaults are the parameters the paper uses throughout §5: threshold
+/// T = 20, drop mean D = 10 with σ = 2, and Gaussian threshold noise with the
+/// same σ.
+#[derive(Debug, Clone)]
+pub struct ShufflerConfig {
+    /// Cardinality threshold T.
+    pub cardinality_threshold: u64,
+    /// Standard deviation of the Gaussian noise added to T.
+    pub threshold_noise_sigma: f64,
+    /// Mean D of the rounded normal number of reports dropped per crowd.
+    pub drop_mean: f64,
+    /// Standard deviation of the per-crowd drop count.
+    pub drop_sigma: f64,
+    /// Minimum number of reports before a batch is processed.
+    pub min_batch_size: usize,
+    /// Shuffling backend.
+    pub backend: ShuffleBackend,
+}
+
+impl Default for ShufflerConfig {
+    fn default() -> Self {
+        Self {
+            cardinality_threshold: 20,
+            threshold_noise_sigma: 2.0,
+            drop_mean: 10.0,
+            drop_sigma: 2.0,
+            min_batch_size: 1,
+            backend: ShuffleBackend::Trusted,
+        }
+    }
+}
+
+impl ShufflerConfig {
+    /// The §5.3 (Perms) configuration: threshold 100, σ = 4.
+    pub fn perms() -> Self {
+        Self {
+            cardinality_threshold: 100,
+            threshold_noise_sigma: 4.0,
+            drop_mean: 10.0,
+            drop_sigma: 4.0,
+            ..Self::default()
+        }
+    }
+
+    /// Disables thresholding entirely (the "NoCrowd" experiment): every
+    /// report is forwarded and no noise is applied.
+    pub fn without_thresholding(mut self) -> Self {
+        self.cardinality_threshold = 0;
+        self.threshold_noise_sigma = 0.0;
+        self.drop_mean = 0.0;
+        self.drop_sigma = 0.0;
+        self
+    }
+}
+
+/// Statistics describing what happened to one batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShufflerStats {
+    /// Reports received in the batch.
+    pub received: usize,
+    /// Reports forwarded to the analyzer.
+    pub forwarded: usize,
+    /// Reports removed by the random per-crowd drop.
+    pub dropped_noise: usize,
+    /// Reports removed because their crowd fell below the (noisy) threshold.
+    pub dropped_threshold: usize,
+    /// Reports rejected as malformed (undecryptable outer layer).
+    pub rejected: usize,
+    /// Distinct crowd IDs observed.
+    pub crowds_seen: usize,
+    /// Distinct crowd IDs forwarded.
+    pub crowds_forwarded: usize,
+    /// Attempts used by the oblivious shuffle backend (1 for trusted).
+    pub shuffle_attempts: usize,
+}
+
+/// The output the analyzer receives: anonymous, shuffled inner ciphertexts.
+#[derive(Debug, Clone)]
+pub struct ShuffledBatch {
+    /// Shuffled inner ciphertexts (still sealed to the analyzer).
+    pub items: Vec<Vec<u8>>,
+    /// Batch statistics (the analyzer may see these; they reveal only
+    /// selectivity, per §4.1.5).
+    pub stats: ShufflerStats,
+}
+
+/// A single-organization ESA shuffler.
+#[derive(Debug, Clone)]
+pub struct Shuffler {
+    keys: HybridKeypair,
+    config: ShufflerConfig,
+    enclave: Enclave,
+}
+
+impl Shuffler {
+    /// Creates a shuffler with fresh keys.
+    pub fn new<R: Rng + ?Sized>(config: ShufflerConfig, rng: &mut R) -> Self {
+        Self::with_keys(HybridKeypair::generate(rng), config)
+    }
+
+    /// Creates a shuffler with the given keypair.
+    pub fn with_keys(keys: HybridKeypair, config: ShufflerConfig) -> Self {
+        let enclave = Enclave::new(EnclaveConfig {
+            code_identity: "prochlo-shuffler".to_string(),
+            ..EnclaveConfig::default()
+        });
+        Self {
+            keys,
+            config,
+            enclave,
+        }
+    }
+
+    /// Replaces the enclave (e.g. to enable access-trace recording in tests).
+    pub fn with_enclave(mut self, enclave: Enclave) -> Self {
+        self.enclave = enclave;
+        self
+    }
+
+    /// The public key clients embed for the outer encryption layer.
+    pub fn public_key(&self) -> &PublicKey {
+        self.keys.public_key()
+    }
+
+    /// The shuffler's configuration.
+    pub fn config(&self) -> &ShufflerConfig {
+        &self.config
+    }
+
+    /// The enclave used for accounting.
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// Produces an attestation quote binding this shuffler's public key to
+    /// the enclave measurement (§4.1.1).
+    pub fn attest(&self, cpu: &CpuKey) -> Quote {
+        cpu.quote(&self.enclave, &self.public_key().to_bytes())
+    }
+
+    /// Processes one batch end to end: peel, strip metadata, randomized
+    /// thresholding, oblivious shuffle.
+    pub fn process_batch<R: Rng + ?Sized>(
+        &self,
+        reports: &[ClientReport],
+        rng: &mut R,
+    ) -> Result<ShuffledBatch, PipelineError> {
+        if reports.len() < self.config.min_batch_size {
+            return Err(PipelineError::BatchTooSmall {
+                received: reports.len(),
+                minimum: self.config.min_batch_size,
+            });
+        }
+        let mut stats = ShufflerStats {
+            received: reports.len(),
+            ..ShufflerStats::default()
+        };
+
+        // Peel the outer layer inside the enclave; transport metadata is
+        // dropped here and never referenced again.
+        let mut envelopes: Vec<ShufflerEnvelope> = Vec::with_capacity(reports.len());
+        for report in reports {
+            self.enclave
+                .copy_in("shuffler-receive-report", 0, report.wire_len());
+            match report
+                .outer
+                .open(self.keys.secret(), SHUFFLER_AAD)
+                .ok()
+                .and_then(|bytes| ShufflerEnvelope::from_bytes(&bytes).ok())
+            {
+                Some(envelope) => envelopes.push(envelope),
+                None => stats.rejected += 1,
+            }
+        }
+
+        // Randomized cardinality thresholding per crowd (§3.5).
+        let survivors = self.threshold(envelopes, &mut stats, rng)?;
+
+        // Oblivious shuffle of the surviving inner ciphertexts.
+        let mut items: Vec<Vec<u8>> = survivors.into_iter().map(|e| e.inner).collect();
+        let attempts = match &self.config.backend {
+            ShuffleBackend::Trusted => {
+                items.shuffle(rng);
+                1
+            }
+            ShuffleBackend::Sgx { params } => {
+                let params = (*params).unwrap_or_else(|| StashShuffleParams::derive(items.len()));
+                let stash = StashShuffle::new(params, self.enclave.clone());
+                let output = stash.shuffle_with_ingress(&items, &identity_ingress, rng)?;
+                items = output.records;
+                output.attempts
+            }
+        };
+
+        stats.forwarded = items.len();
+        stats.shuffle_attempts = attempts;
+        Ok(ShuffledBatch { items, stats })
+    }
+
+    /// Applies the per-crowd random drop and the noisy threshold, returning
+    /// the surviving envelopes.
+    fn threshold<R: Rng + ?Sized>(
+        &self,
+        envelopes: Vec<ShufflerEnvelope>,
+        stats: &mut ShufflerStats,
+        rng: &mut R,
+    ) -> Result<Vec<ShufflerEnvelope>, PipelineError> {
+        // Group indexes by crowd key; `None` bypasses thresholding.
+        let mut groups: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+        let mut bypass: Vec<usize> = Vec::new();
+        for (idx, envelope) in envelopes.iter().enumerate() {
+            match &envelope.crowd_id {
+                CrowdId::None => bypass.push(idx),
+                CrowdId::Hashed(h) => groups.entry(h.to_vec()).or_default().push(idx),
+                CrowdId::Blinded(_) => {
+                    return Err(PipelineError::InvalidConfig(
+                        "blinded crowd IDs require the split shuffler (shuffler::split)",
+                    ))
+                }
+            }
+        }
+        stats.crowds_seen = groups.len();
+
+        let drop_dist = if self.config.drop_mean > 0.0 || self.config.drop_sigma > 0.0 {
+            Some(RoundedNormal::new(self.config.drop_mean, self.config.drop_sigma))
+        } else {
+            None
+        };
+        let noise_dist = if self.config.threshold_noise_sigma > 0.0 {
+            Some(Gaussian::new(0.0, self.config.threshold_noise_sigma))
+        } else {
+            None
+        };
+
+        let mut keep: Vec<usize> = bypass;
+        for (_, mut members) in groups {
+            // Charge the enclave for one counter per crowd (the in-enclave
+            // counting pass of §4.1.5).
+            self.enclave.copy_in("shuffler-crowd-counter", 0, 8);
+            // Step 1: drop d ~ ⌊N(D, σ²)⌉ random reports from the crowd.
+            if let Some(dist) = &drop_dist {
+                let d = dist.sample(rng) as usize;
+                let dropped = d.min(members.len());
+                members.shuffle(rng);
+                members.truncate(members.len() - dropped);
+                stats.dropped_noise += dropped;
+            }
+            // Step 2: forward only crowds above the noisy threshold.
+            let noise = noise_dist.as_ref().map_or(0.0, |d| d.sample(rng));
+            let effective_threshold = self.config.cardinality_threshold as f64 + noise;
+            if (members.len() as f64) > effective_threshold {
+                stats.crowds_forwarded += 1;
+                keep.extend(members);
+            } else {
+                stats.dropped_threshold += members.len();
+            }
+        }
+
+        // Preserve nothing about arrival order when collecting survivors.
+        keep.sort_unstable();
+        let keep_set: std::collections::HashSet<usize> = keep.into_iter().collect();
+        Ok(envelopes
+            .into_iter()
+            .enumerate()
+            .filter_map(|(idx, e)| keep_set.contains(&idx).then_some(e))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{ClientKeys, CrowdStrategy, Encoder};
+    use prochlo_sgx::AttestationAuthority;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(rng: &mut StdRng, config: ShufflerConfig) -> (Encoder, Shuffler, HybridKeypair) {
+        let analyzer = HybridKeypair::generate(rng);
+        let shuffler = Shuffler::new(config, rng);
+        let keys = ClientKeys {
+            shuffler: *shuffler.public_key(),
+            analyzer: *analyzer.public_key(),
+            crowd_blinding: None,
+        };
+        (Encoder::new(keys, 32), shuffler, analyzer)
+    }
+
+    fn reports_for_crowd(
+        encoder: &Encoder,
+        crowd: &[u8],
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<ClientReport> {
+        (0..count)
+            .map(|i| {
+                encoder
+                    .encode_plain(crowd, CrowdStrategy::Hash(crowd), i as u64, rng)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn small_crowds_are_dropped_large_crowds_survive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (encoder, shuffler, _analyzer) = setup(&mut rng, ShufflerConfig::default());
+        let mut reports = reports_for_crowd(&encoder, b"popular", 200, &mut rng);
+        reports.extend(reports_for_crowd(&encoder, b"rare", 5, &mut rng));
+        let batch = shuffler.process_batch(&reports, &mut rng).unwrap();
+        assert_eq!(batch.stats.received, 205);
+        assert_eq!(batch.stats.crowds_seen, 2);
+        assert_eq!(batch.stats.crowds_forwarded, 1);
+        // The popular crowd survives minus the ~10 randomly dropped reports;
+        // the rare crowd disappears entirely.
+        assert!(batch.stats.forwarded >= 180 && batch.stats.forwarded <= 195);
+        assert!(batch.stats.dropped_threshold <= 5);
+        assert!(batch.stats.dropped_noise >= 10);
+    }
+
+    #[test]
+    fn no_crowd_reports_bypass_thresholding() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (encoder, shuffler, _analyzer) = setup(&mut rng, ShufflerConfig::default());
+        let reports: Vec<ClientReport> = (0..5)
+            .map(|i| {
+                encoder
+                    .encode_plain(b"anything", CrowdStrategy::None, i, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        let batch = shuffler.process_batch(&reports, &mut rng).unwrap();
+        assert_eq!(batch.stats.forwarded, 5);
+        assert_eq!(batch.stats.dropped_noise, 0);
+    }
+
+    #[test]
+    fn without_thresholding_forwards_everything() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (encoder, shuffler, _analyzer) =
+            setup(&mut rng, ShufflerConfig::default().without_thresholding());
+        let reports = reports_for_crowd(&encoder, b"tiny", 3, &mut rng);
+        let batch = shuffler.process_batch(&reports, &mut rng).unwrap();
+        assert_eq!(batch.stats.forwarded, 3);
+    }
+
+    #[test]
+    fn min_batch_size_is_enforced() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = ShufflerConfig {
+            min_batch_size: 10,
+            ..ShufflerConfig::default()
+        };
+        let (encoder, shuffler, _analyzer) = setup(&mut rng, config);
+        let reports = reports_for_crowd(&encoder, b"c", 3, &mut rng);
+        assert!(matches!(
+            shuffler.process_batch(&reports, &mut rng),
+            Err(PipelineError::BatchTooSmall { received: 3, minimum: 10 })
+        ));
+    }
+
+    #[test]
+    fn undecryptable_reports_are_rejected_not_fatal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (encoder, shuffler, _analyzer) =
+            setup(&mut rng, ShufflerConfig::default().without_thresholding());
+        let mut reports = reports_for_crowd(&encoder, b"ok", 30, &mut rng);
+        // A report encrypted to a *different* shuffler cannot be peeled.
+        let other = Shuffler::new(ShufflerConfig::default(), &mut rng);
+        let foreign_keys = ClientKeys {
+            shuffler: *other.public_key(),
+            analyzer: *HybridKeypair::generate(&mut rng).public_key(),
+            crowd_blinding: None,
+        };
+        let foreign_encoder = Encoder::new(foreign_keys, 32);
+        reports.push(
+            foreign_encoder
+                .encode_plain(b"x", CrowdStrategy::None, 99, &mut rng)
+                .unwrap(),
+        );
+        let batch = shuffler.process_batch(&reports, &mut rng).unwrap();
+        assert_eq!(batch.stats.rejected, 1);
+        assert_eq!(batch.stats.forwarded, 30);
+    }
+
+    #[test]
+    fn output_order_is_not_arrival_order() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (encoder, shuffler, analyzer) =
+            setup(&mut rng, ShufflerConfig::default().without_thresholding());
+        let reports: Vec<ClientReport> = (0..100)
+            .map(|i| {
+                encoder
+                    .encode_plain(format!("item-{i}").as_bytes(), CrowdStrategy::None, i, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        let batch = shuffler.process_batch(&reports, &mut rng).unwrap();
+        // Decrypt in output order and compare against arrival order.
+        let analyzer_obj = crate::analyzer::Analyzer::new(analyzer);
+        let db = analyzer_obj.ingest_items(&batch.items).unwrap();
+        let decoded: Vec<String> = db
+            .rows()
+            .iter()
+            .map(|r| String::from_utf8(r.clone()).unwrap())
+            .collect();
+        let arrival: Vec<String> = (0..100).map(|i| format!("item-{i}")).collect();
+        assert_ne!(decoded, arrival);
+    }
+
+    #[test]
+    fn sgx_backend_produces_same_multiset_as_trusted() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = ShufflerConfig {
+            backend: ShuffleBackend::Sgx { params: None },
+            ..ShufflerConfig::default().without_thresholding()
+        };
+        let (encoder, shuffler, analyzer) = setup(&mut rng, config);
+        let reports: Vec<ClientReport> = (0..80)
+            .map(|i| {
+                encoder
+                    .encode_plain(format!("v{i}").as_bytes(), CrowdStrategy::None, i, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        let batch = shuffler.process_batch(&reports, &mut rng).unwrap();
+        assert_eq!(batch.stats.forwarded, 80);
+        assert!(batch.stats.shuffle_attempts >= 1);
+        let analyzer_obj = crate::analyzer::Analyzer::new(analyzer);
+        let db = analyzer_obj.ingest_items(&batch.items).unwrap();
+        let mut values: Vec<String> = db
+            .rows()
+            .iter()
+            .map(|r| String::from_utf8(r.clone()).unwrap())
+            .collect();
+        values.sort();
+        let mut expected: Vec<String> = (0..80).map(|i| format!("v{i}")).collect();
+        expected.sort();
+        assert_eq!(values, expected);
+    }
+
+    #[test]
+    fn blinded_crowd_ids_are_rejected_by_single_shuffler() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let shuffler = Shuffler::new(ShufflerConfig::default(), &mut rng);
+        let elgamal = prochlo_crypto::elgamal::ElGamalKeypair::generate(&mut rng);
+        let analyzer = HybridKeypair::generate(&mut rng);
+        let keys = ClientKeys {
+            shuffler: *shuffler.public_key(),
+            analyzer: *analyzer.public_key(),
+            crowd_blinding: Some(*elgamal.public_key()),
+        };
+        let encoder = Encoder::new(keys, 32);
+        let reports: Vec<ClientReport> = (0..3)
+            .map(|i| {
+                encoder
+                    .encode_plain(b"w", CrowdStrategy::Blind(b"w"), i, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        assert!(matches!(
+            shuffler.process_batch(&reports, &mut rng),
+            Err(PipelineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn attestation_binds_public_key() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let shuffler = Shuffler::new(ShufflerConfig::default(), &mut rng);
+        let authority = AttestationAuthority::from_seed(b"intel");
+        let cpu = authority.provision_cpu(b"cpu-1");
+        let quote = shuffler.attest(&cpu);
+        let verifier = prochlo_sgx::QuoteVerifier::new(
+            authority.root_key(),
+            vec![shuffler.enclave().measurement()],
+        );
+        let report_data = verifier.verify(&quote).unwrap();
+        assert_eq!(report_data, shuffler.public_key().to_bytes());
+    }
+}

@@ -1,0 +1,309 @@
+//! The split shuffler with blinded crowd IDs (§4.3).
+//!
+//! Two non-colluding parties jointly threshold on crowd IDs without either
+//! seeing them in the clear:
+//!
+//! * **Shuffler 1** holds the hybrid key for the outer encryption layer. It
+//!   peels reports, *blinds* each El Gamal-encrypted crowd ID with a
+//!   per-batch secret exponent α (and re-randomizes it), shuffles the batch
+//!   and forwards it. It never holds the El Gamal private key, so it cannot
+//!   dictionary-attack the crowd IDs it relays.
+//! * **Shuffler 2** holds the El Gamal private key. It decrypts each blinded
+//!   crowd ID to the pseudonymous handle `α·H(crowd ID)` — equal handles
+//!   mean equal crowd IDs, so it can count and apply the same randomized
+//!   thresholding as the single shuffler — but without α it cannot test
+//!   guesses against the handles. It shuffles again and forwards the inner
+//!   ciphertexts to the analyzer.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use prochlo_crypto::edwards::Point;
+use prochlo_crypto::elgamal::{BlindingSecret, ElGamalCiphertext, ElGamalKeypair};
+use prochlo_crypto::hybrid::HybridKeypair;
+use prochlo_crypto::PublicKey;
+use prochlo_stats::{Gaussian, RoundedNormal};
+
+use crate::encoder::SHUFFLER_AAD;
+use crate::error::PipelineError;
+use crate::record::{ClientReport, CrowdId, ShufflerEnvelope};
+use crate::shuffler::{ShufflerConfig, ShufflerStats};
+
+/// A report in transit between the two shufflers: the blinded crowd ID plus
+/// the untouched inner ciphertext.
+#[derive(Debug, Clone)]
+pub struct BlindedRecord {
+    /// The El Gamal ciphertext after blinding and re-randomization.
+    pub blinded_crowd: ElGamalCiphertext,
+    /// The inner ciphertext (sealed to the analyzer).
+    pub inner: Vec<u8>,
+}
+
+/// Shuffler 1: peels, blinds, shuffles, forwards.
+#[derive(Debug, Clone)]
+pub struct ShufflerOne {
+    keys: HybridKeypair,
+}
+
+/// Shuffler 2: unblinds to pseudonymous handles, thresholds, shuffles.
+#[derive(Debug)]
+pub struct ShufflerTwo {
+    elgamal: ElGamalKeypair,
+    config: ShufflerConfig,
+}
+
+/// The two-shuffler deployment as a unit.
+#[derive(Debug)]
+pub struct SplitShuffler {
+    /// Shuffler 1 (outer-layer key holder).
+    pub one: ShufflerOne,
+    /// Shuffler 2 (El Gamal key holder, thresholder).
+    pub two: ShufflerTwo,
+}
+
+impl ShufflerOne {
+    /// Creates Shuffler 1 with fresh keys.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            keys: HybridKeypair::generate(rng),
+        }
+    }
+
+    /// The public key clients embed for the outer layer.
+    pub fn public_key(&self) -> &PublicKey {
+        self.keys.public_key()
+    }
+
+    /// Peels, blinds and shuffles one batch, forwarding blinded records.
+    pub fn process_batch<R: Rng + ?Sized>(
+        &self,
+        reports: &[ClientReport],
+        elgamal_public: &Point,
+        rng: &mut R,
+    ) -> Result<(Vec<BlindedRecord>, usize), PipelineError> {
+        let blinding = BlindingSecret::random(rng);
+        let mut rejected = 0usize;
+        let mut records = Vec::with_capacity(reports.len());
+        for report in reports {
+            let envelope = match report
+                .outer
+                .open(self.keys.secret(), SHUFFLER_AAD)
+                .ok()
+                .and_then(|bytes| ShufflerEnvelope::from_bytes(&bytes).ok())
+            {
+                Some(e) => e,
+                None => {
+                    rejected += 1;
+                    continue;
+                }
+            };
+            let blinded_crowd = match envelope.crowd_id {
+                CrowdId::Blinded(ct) => ct.blind(&blinding).rerandomize(rng, elgamal_public),
+                _ => {
+                    // The split shuffler is only deployed for blinded crowd
+                    // IDs; anything else indicates a misconfigured encoder.
+                    rejected += 1;
+                    continue;
+                }
+            };
+            records.push(BlindedRecord {
+                blinded_crowd,
+                inner: envelope.inner,
+            });
+        }
+        records.shuffle(rng);
+        Ok((records, rejected))
+    }
+}
+
+impl ShufflerTwo {
+    /// Creates Shuffler 2 with fresh El Gamal keys and the given thresholding
+    /// configuration.
+    pub fn new<R: Rng + ?Sized>(config: ShufflerConfig, rng: &mut R) -> Self {
+        Self {
+            elgamal: ElGamalKeypair::generate(rng),
+            config,
+        }
+    }
+
+    /// The El Gamal public key clients use to encrypt crowd IDs.
+    pub fn elgamal_public(&self) -> &Point {
+        self.elgamal.public_key()
+    }
+
+    /// Unblinds crowd IDs to pseudonymous handles, applies randomized
+    /// thresholding and shuffles.
+    pub fn process_batch<R: Rng + ?Sized>(
+        &self,
+        records: Vec<BlindedRecord>,
+        rng: &mut R,
+    ) -> Result<(Vec<Vec<u8>>, ShufflerStats), PipelineError> {
+        let mut stats = ShufflerStats {
+            received: records.len(),
+            ..ShufflerStats::default()
+        };
+
+        // Decrypt to handles and group by handle.
+        let mut groups: HashMap<[u8; 32], Vec<usize>> = HashMap::new();
+        let mut inners: Vec<Vec<u8>> = Vec::with_capacity(records.len());
+        for (idx, record) in records.into_iter().enumerate() {
+            let handle = self.elgamal.decrypt(&record.blinded_crowd).compress().0;
+            groups.entry(handle).or_default().push(idx);
+            inners.push(record.inner);
+        }
+        stats.crowds_seen = groups.len();
+
+        let drop_dist = if self.config.drop_mean > 0.0 || self.config.drop_sigma > 0.0 {
+            Some(RoundedNormal::new(self.config.drop_mean, self.config.drop_sigma))
+        } else {
+            None
+        };
+        let noise_dist = if self.config.threshold_noise_sigma > 0.0 {
+            Some(Gaussian::new(0.0, self.config.threshold_noise_sigma))
+        } else {
+            None
+        };
+
+        let mut keep: Vec<usize> = Vec::new();
+        for (_, mut members) in groups {
+            if let Some(dist) = &drop_dist {
+                let d = (dist.sample(rng) as usize).min(members.len());
+                members.shuffle(rng);
+                members.truncate(members.len() - d);
+                stats.dropped_noise += d;
+            }
+            let noise = noise_dist.as_ref().map_or(0.0, |d| d.sample(rng));
+            if (members.len() as f64) > self.config.cardinality_threshold as f64 + noise {
+                stats.crowds_forwarded += 1;
+                keep.extend(members);
+            } else {
+                stats.dropped_threshold += members.len();
+            }
+        }
+
+        let keep_set: std::collections::HashSet<usize> = keep.into_iter().collect();
+        let mut survivors: Vec<Vec<u8>> = inners
+            .into_iter()
+            .enumerate()
+            .filter_map(|(idx, inner)| keep_set.contains(&idx).then_some(inner))
+            .collect();
+        survivors.shuffle(rng);
+        stats.forwarded = survivors.len();
+        stats.shuffle_attempts = 1;
+        Ok((survivors, stats))
+    }
+}
+
+impl SplitShuffler {
+    /// Creates both shufflers.
+    pub fn new<R: Rng + ?Sized>(config: ShufflerConfig, rng: &mut R) -> Self {
+        Self {
+            one: ShufflerOne::new(rng),
+            two: ShufflerTwo::new(config, rng),
+        }
+    }
+
+    /// Runs a batch through both shufflers.
+    pub fn process_batch<R: Rng + ?Sized>(
+        &self,
+        reports: &[ClientReport],
+        rng: &mut R,
+    ) -> Result<(Vec<Vec<u8>>, ShufflerStats), PipelineError> {
+        let (blinded, rejected) =
+            self.one
+                .process_batch(reports, self.two.elgamal_public(), rng)?;
+        let (items, mut stats) = self.two.process_batch(blinded, rng)?;
+        stats.rejected = rejected;
+        stats.received = reports.len();
+        Ok((items, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{ClientKeys, CrowdStrategy, Encoder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(rng: &mut StdRng) -> (Encoder, SplitShuffler, HybridKeypair) {
+        let analyzer = HybridKeypair::generate(rng);
+        let split = SplitShuffler::new(ShufflerConfig::default(), rng);
+        let keys = ClientKeys {
+            shuffler: *split.one.public_key(),
+            analyzer: *analyzer.public_key(),
+            crowd_blinding: Some(*split.two.elgamal_public()),
+        };
+        (Encoder::new(keys, 32), split, analyzer)
+    }
+
+    fn blinded_reports(
+        encoder: &Encoder,
+        word: &[u8],
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<ClientReport> {
+        (0..count)
+            .map(|i| {
+                encoder
+                    .encode_plain(word, CrowdStrategy::Blind(word), i as u64, rng)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blinded_thresholding_keeps_popular_crowds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (encoder, split, _analyzer) = setup(&mut rng);
+        let mut reports = blinded_reports(&encoder, b"common-word", 120, &mut rng);
+        reports.extend(blinded_reports(&encoder, b"rare-word", 4, &mut rng));
+        let (items, stats) = split.process_batch(&reports, &mut rng).unwrap();
+        assert_eq!(stats.crowds_seen, 2);
+        assert_eq!(stats.crowds_forwarded, 1);
+        assert!(items.len() >= 100 && items.len() <= 115, "{}", items.len());
+    }
+
+    #[test]
+    fn shuffler_two_sees_handles_not_crowd_ids() {
+        // The handle Shuffler 2 derives must not equal the unblinded
+        // hash-to-group point of the crowd label (no dictionary attack).
+        let mut rng = StdRng::seed_from_u64(2);
+        let (encoder, split, _analyzer) = setup(&mut rng);
+        let report = &blinded_reports(&encoder, b"guessable", 1, &mut rng)[0];
+        let (blinded, _) = split
+            .one
+            .process_batch(std::slice::from_ref(report), split.two.elgamal_public(), &mut rng)
+            .unwrap();
+        let handle = split.two.elgamal.decrypt(&blinded[0].blinded_crowd);
+        assert_ne!(handle, Point::hash_to_point(b"guessable"));
+    }
+
+    #[test]
+    fn non_blinded_reports_are_rejected_by_shuffler_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (encoder, split, _analyzer) = setup(&mut rng);
+        let mut reports = blinded_reports(&encoder, b"w", 30, &mut rng);
+        reports.push(
+            encoder
+                .encode_plain(b"w", CrowdStrategy::Hash(b"w"), 99, &mut rng)
+                .unwrap(),
+        );
+        let (_, stats) = split.process_batch(&reports, &mut rng).unwrap();
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn analyzer_can_decrypt_forwarded_items() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (encoder, split, analyzer) = setup(&mut rng);
+        let reports = blinded_reports(&encoder, b"hello-world", 60, &mut rng);
+        let (items, stats) = split.process_batch(&reports, &mut rng).unwrap();
+        assert!(stats.forwarded > 20);
+        let analyzer_obj = crate::analyzer::Analyzer::new(analyzer);
+        let db = analyzer_obj.ingest_items(&items).unwrap();
+        assert_eq!(db.histogram().count(&b"hello-world".to_vec()), items.len() as u64);
+    }
+}

@@ -1,0 +1,218 @@
+//! Diffie–Hellman key agreement over the Edwards group.
+//!
+//! In the ESA architecture every client derives an ephemeral shared key with
+//! the shuffler and with the analyzer (one per nested-encryption layer), and
+//! the shuffler/analyzer hold the corresponding static private keys. This
+//! module provides both halves.
+
+use rand::Rng;
+
+use crate::edwards::{CompressedPoint, Point};
+use crate::error::CryptoError;
+use crate::hkdf::hkdf_key;
+use crate::scalar::Scalar;
+
+/// A long-lived Diffie–Hellman private key (shuffler or analyzer side).
+#[derive(Clone)]
+pub struct StaticSecret {
+    secret: Scalar,
+}
+
+/// A single-use Diffie–Hellman private key (client side).
+pub struct EphemeralSecret {
+    secret: Scalar,
+}
+
+/// A Diffie–Hellman public key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PublicKey {
+    point: CompressedPoint,
+}
+
+impl std::fmt::Debug for StaticSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StaticSecret(..)")
+    }
+}
+
+impl std::fmt::Debug for EphemeralSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EphemeralSecret(..)")
+    }
+}
+
+fn derive_shared(secret: &Scalar, their_public: &PublicKey, info: &[u8]) -> Result<[u8; 32], CryptoError> {
+    let their_point = their_public.point.decompress()?;
+    let shared_point = their_point.mul(secret);
+    if shared_point.is_identity() {
+        return Err(CryptoError::InvalidParameter(
+            "degenerate Diffie-Hellman shared secret",
+        ));
+    }
+    Ok(hkdf_key(
+        b"prochlo-ecdh",
+        shared_point.compress().as_bytes(),
+        info,
+    ))
+}
+
+impl StaticSecret {
+    /// Generates a fresh keypair secret.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            secret: Scalar::random_nonzero(rng),
+        }
+    }
+
+    /// Deterministically derives a secret from seed bytes (useful in tests
+    /// and for the simulated attestation hierarchy).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        Self {
+            secret: Scalar::hash_from_bytes(&[b"static-secret", seed]),
+        }
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey {
+            point: Point::mul_base(&self.secret).compress(),
+        }
+    }
+
+    /// Computes the shared symmetric key with a peer's public key.
+    pub fn agree(&self, their_public: &PublicKey, info: &[u8]) -> Result<[u8; 32], CryptoError> {
+        derive_shared(&self.secret, their_public, info)
+    }
+
+    /// Access to the raw scalar (needed by the El Gamal decryption path).
+    pub fn scalar(&self) -> &Scalar {
+        &self.secret
+    }
+}
+
+impl EphemeralSecret {
+    /// Generates a fresh single-use secret.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            secret: Scalar::random_nonzero(rng),
+        }
+    }
+
+    /// The corresponding public key, to be transmitted with the ciphertext.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey {
+            point: Point::mul_base(&self.secret).compress(),
+        }
+    }
+
+    /// Computes the shared symmetric key with a peer's public key, consuming
+    /// the ephemeral secret so it cannot be reused.
+    pub fn agree(self, their_public: &PublicKey, info: &[u8]) -> Result<[u8; 32], CryptoError> {
+        derive_shared(&self.secret, their_public, info)
+    }
+}
+
+impl PublicKey {
+    /// The compressed wire encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.point.0
+    }
+
+    /// Parses a public key from its wire encoding.
+    pub fn from_bytes(bytes: [u8; 32]) -> Result<Self, CryptoError> {
+        let compressed = CompressedPoint(bytes);
+        // Validate eagerly so downstream users can assume well-formedness.
+        compressed.decompress()?;
+        Ok(Self { point: compressed })
+    }
+
+    /// The underlying compressed point.
+    pub fn compressed(&self) -> &CompressedPoint {
+        &self.point
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn static_static_agreement_matches() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = StaticSecret::random(&mut rng);
+        let b = StaticSecret::random(&mut rng);
+        let k_ab = a.agree(&b.public_key(), b"test").unwrap();
+        let k_ba = b.agree(&a.public_key(), b"test").unwrap();
+        assert_eq!(k_ab, k_ba);
+    }
+
+    #[test]
+    fn ephemeral_static_agreement_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let server = StaticSecret::random(&mut rng);
+        let client = EphemeralSecret::random(&mut rng);
+        let client_pub = client.public_key();
+        let k_client = client.agree(&server.public_key(), b"layer").unwrap();
+        let k_server = server.agree(&client_pub, b"layer").unwrap();
+        assert_eq!(k_client, k_server);
+    }
+
+    #[test]
+    fn info_string_separates_keys() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = StaticSecret::random(&mut rng);
+        let b = StaticSecret::random(&mut rng);
+        let k1 = a.agree(&b.public_key(), b"shuffler").unwrap();
+        let k2 = a.agree(&b.public_key(), b"analyzer").unwrap();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn different_peers_give_different_keys() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = StaticSecret::random(&mut rng);
+        let b = StaticSecret::random(&mut rng);
+        let c = StaticSecret::random(&mut rng);
+        assert_ne!(
+            a.agree(&b.public_key(), b"x").unwrap(),
+            a.agree(&c.public_key(), b"x").unwrap()
+        );
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = StaticSecret::random(&mut rng);
+        let pk = a.public_key();
+        let parsed = PublicKey::from_bytes(pk.to_bytes()).unwrap();
+        assert_eq!(parsed, pk);
+    }
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        let a1 = StaticSecret::from_seed(b"shuffler-v1");
+        let a2 = StaticSecret::from_seed(b"shuffler-v1");
+        let b = StaticSecret::from_seed(b"analyzer-v1");
+        assert_eq!(a1.public_key(), a2.public_key());
+        assert_ne!(a1.public_key(), b.public_key());
+    }
+
+    #[test]
+    fn invalid_public_key_is_rejected() {
+        // A y-coordinate that is not on the curve: find one by perturbing a
+        // valid key until decompression fails.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut bytes = StaticSecret::random(&mut rng).public_key().to_bytes();
+        let mut rejected = false;
+        for i in 0..=255u8 {
+            bytes[0] = i;
+            if PublicKey::from_bytes(bytes).is_err() {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "expected some perturbed encoding to be invalid");
+    }
+}

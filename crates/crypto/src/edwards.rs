@@ -1,0 +1,435 @@
+//! The twisted Edwards curve −x² + y² = 1 + d·x²y² over GF(2²⁵⁵ − 19)
+//! (the Ed25519 curve), used as Prochlo's elliptic-curve group.
+//!
+//! The paper uses NIST P-256 for nested encryption and for the blinded
+//! crowd-ID construction; any prime-order group with Diffie–Hellman and
+//! hash-to-group works identically, so we substitute the Edwards curve whose
+//! field arithmetic we implement in [`crate::field`] (see DESIGN.md for the
+//! substitution argument). Points are kept in extended homogeneous
+//! coordinates (X : Y : Z : T) with x = X/Z, y = Y/Z, xy = T/Z.
+//!
+//! Scalar multiplication uses a simple double-and-add ladder. It is *not*
+//! constant-time; the crate-level documentation spells out that this
+//! substrate targets functional fidelity, not side-channel resistance.
+
+use std::sync::OnceLock;
+
+use crate::error::CryptoError;
+use crate::field::FieldElement;
+use crate::scalar::Scalar;
+use crate::sha256::Sha256;
+
+/// The curve constant d = −121665/121666.
+fn curve_d() -> &'static FieldElement {
+    static D: OnceLock<FieldElement> = OnceLock::new();
+    D.get_or_init(|| {
+        FieldElement::from_u64(121_665)
+            .neg()
+            .mul(&FieldElement::from_u64(121_666).invert())
+    })
+}
+
+/// 2·d, used by the unified addition formula.
+fn curve_2d() -> &'static FieldElement {
+    static D2: OnceLock<FieldElement> = OnceLock::new();
+    D2.get_or_init(|| curve_d().add(curve_d()))
+}
+
+/// A point on the Edwards curve, in extended coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+    t: FieldElement,
+}
+
+/// A compressed (32-byte) point encoding: the y-coordinate with the sign of x
+/// in the top bit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CompressedPoint(pub [u8; 32]);
+
+impl PartialEq for Point {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1/Z1 == X2/Z2) and (Y1/Z1 == Y2/Z2), compared by cross-multiplying.
+        self.x.mul(&other.z) == other.x.mul(&self.z)
+            && self.y.mul(&other.z) == other.y.mul(&self.z)
+    }
+}
+
+impl Eq for Point {}
+
+impl Point {
+    /// The identity element (0, 1).
+    pub fn identity() -> Point {
+        Point {
+            x: FieldElement::ZERO,
+            y: FieldElement::ONE,
+            z: FieldElement::ONE,
+            t: FieldElement::ZERO,
+        }
+    }
+
+    /// The standard base point (x, 4/5) with non-negative x; it generates the
+    /// prime-order subgroup of size ℓ.
+    pub fn basepoint() -> &'static Point {
+        static B: OnceLock<Point> = OnceLock::new();
+        B.get_or_init(|| {
+            let y = FieldElement::from_u64(4).mul(&FieldElement::from_u64(5).invert());
+            Point::from_affine_y(&y, false).expect("4/5 is a valid y-coordinate")
+        })
+    }
+
+    /// Builds a point from an affine y-coordinate and a sign bit for x.
+    ///
+    /// Returns `None` when no curve point has that y-coordinate.
+    pub fn from_affine_y(y: &FieldElement, x_negative: bool) -> Option<Point> {
+        // x^2 = (y^2 - 1) / (d y^2 + 1).
+        let yy = y.square();
+        let numerator = yy.sub(&FieldElement::ONE);
+        let denominator = curve_d().mul(&yy).add(&FieldElement::ONE);
+        let xx = numerator.mul(&denominator.invert());
+        let x = xx.sqrt()?;
+        // Reject the non-canonical "negative zero" encoding.
+        if x.is_zero() && x_negative {
+            return None;
+        }
+        let x = x.with_sign(x_negative);
+        Some(Point {
+            x,
+            y: *y,
+            z: FieldElement::ONE,
+            t: x.mul(y),
+        })
+    }
+
+    /// Affine coordinates (x, y) of the point.
+    pub fn to_affine(&self) -> (FieldElement, FieldElement) {
+        let z_inv = self.z.invert();
+        (self.x.mul(&z_inv), self.y.mul(&z_inv))
+    }
+
+    /// True for the identity element.
+    pub fn is_identity(&self) -> bool {
+        *self == Point::identity()
+    }
+
+    /// Checks the curve equation and the coherence of the T coordinate.
+    pub fn is_on_curve(&self) -> bool {
+        // (-X^2 + Y^2) Z^2 == Z^4 + d X^2 Y^2, and X Y == Z T.
+        let xx = self.x.square();
+        let yy = self.y.square();
+        let zz = self.z.square();
+        let lhs = yy.sub(&xx).mul(&zz);
+        let rhs = zz.square().add(&curve_d().mul(&xx).mul(&yy));
+        let t_ok = self.x.mul(&self.y) == self.z.mul(&self.t);
+        lhs == rhs && t_ok
+    }
+
+    /// Point addition (unified formula, valid for doubling too).
+    pub fn add(&self, other: &Point) -> Point {
+        // "add-2008-hwcd-3" for a = -1 twisted Edwards curves.
+        let a = self.y.sub(&self.x).mul(&other.y.sub(&other.x));
+        let b = self.y.add(&self.x).mul(&other.y.add(&other.x));
+        let c = self.t.mul(curve_2d()).mul(&other.t);
+        let d = self.z.add(&self.z).mul(&other.z);
+        let e = b.sub(&a);
+        let f = d.sub(&c);
+        let g = d.add(&c);
+        let h = b.add(&a);
+        Point {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            t: e.mul(&h),
+            z: f.mul(&g),
+        }
+    }
+
+    /// Point doubling.
+    pub fn double(&self) -> Point {
+        // "dbl-2008-hwcd" specialised to a = -1.
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().add(&self.z.square());
+        let d = a.neg();
+        let e = self.x.add(&self.y).square().sub(&a).sub(&b);
+        let g = d.add(&b);
+        let f = g.sub(&c);
+        let h = d.sub(&b);
+        Point {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            t: e.mul(&h),
+            z: f.mul(&g),
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Point {
+        Point {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &Point) -> Point {
+        self.add(&other.neg())
+    }
+
+    /// Scalar multiplication by a scalar modulo the group order.
+    pub fn mul(&self, scalar: &Scalar) -> Point {
+        let bytes = scalar.to_bytes();
+        let mut result = Point::identity();
+        // Most-significant bit first, double-and-add.
+        for byte_idx in (0..32).rev() {
+            for bit in (0..8).rev() {
+                result = result.double();
+                if (bytes[byte_idx] >> bit) & 1 == 1 {
+                    result = result.add(self);
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplies the base point by a scalar.
+    pub fn mul_base(scalar: &Scalar) -> Point {
+        Point::basepoint().mul(scalar)
+    }
+
+    /// Multiplies by the cofactor 8 (three doublings); maps any curve point
+    /// into the prime-order subgroup.
+    pub fn mul_by_cofactor(&self) -> Point {
+        self.double().double().double()
+    }
+
+    /// Compresses to the 32-byte wire encoding.
+    pub fn compress(&self) -> CompressedPoint {
+        let (x, y) = self.to_affine();
+        let mut bytes = y.to_bytes();
+        if x.is_negative() {
+            bytes[31] |= 0x80;
+        }
+        CompressedPoint(bytes)
+    }
+
+    /// Hashes arbitrary bytes to a point in the prime-order subgroup
+    /// (try-and-increment, then clear the cofactor).
+    ///
+    /// This is the `µ = H(crowd ID)` map of §4.3: the discrete log of the
+    /// output with respect to the base point is unknown.
+    pub fn hash_to_point(message: &[u8]) -> Point {
+        for counter in 0u32.. {
+            let mut h = Sha256::new();
+            h.update(b"prochlo-hash-to-group");
+            h.update(&counter.to_le_bytes());
+            h.update(message);
+            let digest = h.finalize();
+            let mut y_bytes = [0u8; 32];
+            y_bytes.copy_from_slice(&digest);
+            let sign = y_bytes[31] & 0x80 != 0;
+            y_bytes[31] &= 0x7f;
+            let y = FieldElement::from_bytes(&y_bytes);
+            if let Some(point) = Point::from_affine_y(&y, sign) {
+                let cleared = point.mul_by_cofactor();
+                if !cleared.is_identity() {
+                    return cleared;
+                }
+            }
+        }
+        unreachable!("try-and-increment terminates with overwhelming probability")
+    }
+}
+
+impl CompressedPoint {
+    /// Raw bytes of the encoding.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Decompresses back to a full point.
+    pub fn decompress(&self) -> Result<Point, CryptoError> {
+        let mut y_bytes = self.0;
+        let sign = y_bytes[31] & 0x80 != 0;
+        y_bytes[31] &= 0x7f;
+        let y = FieldElement::from_bytes(&y_bytes);
+        // Reject non-canonical y encodings (y >= p re-encodes differently).
+        if y.to_bytes() != y_bytes {
+            return Err(CryptoError::InvalidEncoding("non-canonical y-coordinate"));
+        }
+        Point::from_affine_y(&y, sign)
+            .ok_or(CryptoError::InvalidEncoding("not a point on the curve"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_point(rng: &mut StdRng) -> Point {
+        Point::mul_base(&Scalar::random(rng))
+    }
+
+    #[test]
+    fn basepoint_is_on_curve() {
+        assert!(Point::basepoint().is_on_curve());
+        assert!(!Point::basepoint().is_identity());
+    }
+
+    #[test]
+    fn identity_laws() {
+        let id = Point::identity();
+        assert!(id.is_on_curve());
+        let b = Point::basepoint();
+        assert_eq!(b.add(&id), *b);
+        assert_eq!(id.add(b), *b);
+        assert_eq!(b.add(&b.neg()), id);
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let b = Point::basepoint();
+        assert_eq!(b.double(), b.add(b));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let p = random_point(&mut rng);
+            assert_eq!(p.double(), p.add(&p));
+            assert!(p.double().is_on_curve());
+        }
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = random_point(&mut rng);
+        let q = random_point(&mut rng);
+        let r = random_point(&mut rng);
+        assert_eq!(p.add(&q), q.add(&p));
+        assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
+    }
+
+    #[test]
+    fn scalar_mul_small_values() {
+        let b = Point::basepoint();
+        assert_eq!(b.mul(&Scalar::from_u64(0)), Point::identity());
+        assert_eq!(b.mul(&Scalar::from_u64(1)), *b);
+        assert_eq!(b.mul(&Scalar::from_u64(2)), b.double());
+        assert_eq!(b.mul(&Scalar::from_u64(3)), b.double().add(b));
+        assert_eq!(b.mul(&Scalar::from_u64(6)), b.double().add(b).double());
+    }
+
+    #[test]
+    fn scalar_mul_distributes_over_scalar_addition() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Scalar::random(&mut rng);
+        let b = Scalar::random(&mut rng);
+        let lhs = Point::mul_base(&a.add(&b));
+        let rhs = Point::mul_base(&a).add(&Point::mul_base(&b));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn scalar_mul_is_compatible_with_scalar_multiplication() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Scalar::random(&mut rng);
+        let b = Scalar::random(&mut rng);
+        // (a*b)·B == a·(b·B)
+        let lhs = Point::mul_base(&a.mul(&b));
+        let rhs = Point::mul_base(&b).mul(&a);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn basepoint_order_is_l() {
+        // ℓ·B = identity, and (ℓ-1)·B = -B.
+        let l_minus_1 = Scalar::zero().sub(&Scalar::from_u64(1));
+        let almost = Point::mul_base(&l_minus_1);
+        assert_eq!(almost, Point::basepoint().neg());
+        assert_eq!(almost.add(Point::basepoint()), Point::identity());
+    }
+
+    #[test]
+    fn compression_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let p = random_point(&mut rng);
+            let c = p.compress();
+            let q = c.decompress().unwrap();
+            assert_eq!(p, q);
+            assert_eq!(q.compress(), c);
+        }
+    }
+
+    #[test]
+    fn identity_compression_roundtrip() {
+        let c = Point::identity().compress();
+        assert_eq!(c.decompress().unwrap(), Point::identity());
+    }
+
+    #[test]
+    fn invalid_compressed_points_are_rejected() {
+        // y = 2 is not on the curve (for either sign); crafted by trial in the
+        // Ed25519 literature. If it were valid, decompress would succeed and
+        // the on-curve check would still hold, so assert the full contract:
+        // every successful decompression is on the curve.
+        let mut bad = [0u8; 32];
+        bad[0] = 2;
+        match CompressedPoint(bad).decompress() {
+            Ok(p) => assert!(p.is_on_curve()),
+            Err(e) => assert_eq!(e, CryptoError::InvalidEncoding("not a point on the curve")),
+        }
+        // A non-canonical y (y = p) must be rejected outright.
+        let mut noncanonical = [0xffu8; 32];
+        noncanonical[0] = 0xed;
+        noncanonical[31] = 0x7f;
+        assert!(CompressedPoint(noncanonical).decompress().is_err());
+    }
+
+    #[test]
+    fn hash_to_point_is_deterministic_and_in_subgroup() {
+        let p1 = Point::hash_to_point(b"crowd-id-1");
+        let p2 = Point::hash_to_point(b"crowd-id-1");
+        let q = Point::hash_to_point(b"crowd-id-2");
+        assert_eq!(p1, p2);
+        assert_ne!(p1, q);
+        assert!(p1.is_on_curve());
+        // Multiplying by the group order must give the identity (i.e. the
+        // point is in the prime-order subgroup, no small-order component).
+        let l_minus_1 = Scalar::zero().sub(&Scalar::from_u64(1));
+        assert_eq!(p1.mul(&l_minus_1).add(&p1), Point::identity());
+    }
+
+    #[test]
+    fn mul_by_cofactor_is_eight_times() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let p = random_point(&mut rng);
+        assert_eq!(p.mul_by_cofactor(), p.mul(&Scalar::from_u64(8)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_scalar_mul_homomorphism(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            let p = Point::mul_base(&Scalar::random(&mut rng));
+            // (a+b)·P == a·P + b·P
+            prop_assert_eq!(p.mul(&a.add(&b)), p.mul(&a).add(&p.mul(&b)));
+        }
+
+        #[test]
+        fn prop_compress_roundtrip(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = random_point(&mut rng);
+            prop_assert_eq!(p.compress().decompress().unwrap(), p);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type shared by all cryptographic operations in this crate.
+
+use std::fmt;
+
+/// Errors returned by cryptographic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// An authenticated-decryption tag did not verify.
+    AuthenticationFailed,
+    /// A byte string could not be decoded into the expected object
+    /// (wrong length, not a valid curve point, non-canonical encoding, ...).
+    InvalidEncoding(&'static str),
+    /// A signature failed to verify.
+    InvalidSignature,
+    /// Not enough Shamir shares (or inconsistent shares) to recover a secret.
+    InsufficientShares {
+        /// Shares required by the sharing threshold.
+        required: usize,
+        /// Shares actually available.
+        available: usize,
+    },
+    /// The operation needed randomness or parameters outside the valid range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "authentication tag mismatch"),
+            CryptoError::InvalidEncoding(what) => write!(f, "invalid encoding: {what}"),
+            CryptoError::InvalidSignature => write!(f, "signature verification failed"),
+            CryptoError::InsufficientShares {
+                required,
+                available,
+            } => write!(
+                f,
+                "insufficient secret shares: need {required}, have {available}"
+            ),
+            CryptoError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CryptoError::AuthenticationFailed
+            .to_string()
+            .contains("tag"));
+        assert!(CryptoError::InvalidEncoding("point")
+            .to_string()
+            .contains("point"));
+        let e = CryptoError::InsufficientShares {
+            required: 20,
+            available: 3,
+        };
+        assert!(e.to_string().contains("20") && e.to_string().contains('3'));
+    }
+}

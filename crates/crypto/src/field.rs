@@ -1,0 +1,562 @@
+//! Arithmetic in the prime field GF(p) with p = 2²⁵⁵ − 19.
+//!
+//! Elements are stored as five 51-bit limbs (little-endian), the standard
+//! 64-bit representation for Curve25519 arithmetic. Limbs are allowed to grow
+//! slightly beyond 51 bits between reductions; multiplication accepts limbs
+//! up to ~54 bits, and every public operation returns a weakly reduced value
+//! (all limbs below 2⁵² ), with [`FieldElement::to_bytes`] performing the full
+//! canonical reduction.
+//!
+//! This field backs three things in the workspace: the Edwards curve group
+//! (substituting for NIST P-256), Shamir secret sharing for the secret-share
+//! encoder (§4.2 of the paper), and hash-to-field for crowd-ID blinding.
+
+use std::fmt;
+
+const LOW_51_BIT_MASK: u64 = (1u64 << 51) - 1;
+
+/// An element of GF(2²⁵⁵ − 19).
+#[derive(Clone, Copy)]
+pub struct FieldElement(pub(crate) [u64; 5]);
+
+impl fmt::Debug for FieldElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FieldElement({})", crate::util::to_hex(&self.to_bytes()))
+    }
+}
+
+impl PartialEq for FieldElement {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+
+impl Eq for FieldElement {}
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement([0, 0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0, 0]);
+
+    /// Constructs an element from a small integer.
+    pub fn from_u64(x: u64) -> Self {
+        let mut limbs = [0u64; 5];
+        limbs[0] = x & LOW_51_BIT_MASK;
+        limbs[1] = x >> 51;
+        FieldElement(limbs)
+    }
+
+    /// Decodes 32 little-endian bytes, ignoring the top bit (as Curve25519
+    /// implementations conventionally do). The result is reduced mod p.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        let load8 = |b: &[u8]| -> u64 { crate::util::load_u64_le(b) };
+        let mut fe = FieldElement([
+            load8(&bytes[0..8]) & LOW_51_BIT_MASK,
+            (load8(&bytes[6..14]) >> 3) & LOW_51_BIT_MASK,
+            (load8(&bytes[12..20]) >> 6) & LOW_51_BIT_MASK,
+            (load8(&bytes[19..27]) >> 1) & LOW_51_BIT_MASK,
+            (load8(&bytes[24..32]) >> 12) & LOW_51_BIT_MASK,
+        ]);
+        fe.weak_reduce();
+        fe
+    }
+
+    /// Encodes the element canonically as 32 little-endian bytes (< p).
+    pub fn to_bytes(self) -> [u8; 32] {
+        // Step 1: weak reduction so every limb is below 2^52.
+        let mut limbs = self.0;
+        weak_reduce_limbs(&mut limbs);
+
+        // Step 2: compute the quotient of (value + 19) by 2^255. It is 1 when
+        // value is in [p, 2^255), which is exactly when we must subtract p.
+        let mut q = (limbs[0] + 19) >> 51;
+        q = (limbs[1] + q) >> 51;
+        q = (limbs[2] + q) >> 51;
+        q = (limbs[3] + q) >> 51;
+        q = (limbs[4] + q) >> 51;
+
+        // Step 3: add 19 q and propagate carries; masking the top limb then
+        // discards q * 2^255, i.e. subtracts q * p overall.
+        limbs[0] += 19 * q;
+        limbs[1] += limbs[0] >> 51;
+        limbs[0] &= LOW_51_BIT_MASK;
+        limbs[2] += limbs[1] >> 51;
+        limbs[1] &= LOW_51_BIT_MASK;
+        limbs[3] += limbs[2] >> 51;
+        limbs[2] &= LOW_51_BIT_MASK;
+        limbs[4] += limbs[3] >> 51;
+        limbs[3] &= LOW_51_BIT_MASK;
+        limbs[4] &= LOW_51_BIT_MASK;
+
+        let mut out = [0u8; 32];
+        out[0] = limbs[0] as u8;
+        out[1] = (limbs[0] >> 8) as u8;
+        out[2] = (limbs[0] >> 16) as u8;
+        out[3] = (limbs[0] >> 24) as u8;
+        out[4] = (limbs[0] >> 32) as u8;
+        out[5] = (limbs[0] >> 40) as u8;
+        out[6] = ((limbs[0] >> 48) | (limbs[1] << 3)) as u8;
+        out[7] = (limbs[1] >> 5) as u8;
+        out[8] = (limbs[1] >> 13) as u8;
+        out[9] = (limbs[1] >> 21) as u8;
+        out[10] = (limbs[1] >> 29) as u8;
+        out[11] = (limbs[1] >> 37) as u8;
+        out[12] = ((limbs[1] >> 45) | (limbs[2] << 6)) as u8;
+        out[13] = (limbs[2] >> 2) as u8;
+        out[14] = (limbs[2] >> 10) as u8;
+        out[15] = (limbs[2] >> 18) as u8;
+        out[16] = (limbs[2] >> 26) as u8;
+        out[17] = (limbs[2] >> 34) as u8;
+        out[18] = (limbs[2] >> 42) as u8;
+        out[19] = ((limbs[2] >> 50) | (limbs[3] << 1)) as u8;
+        out[20] = (limbs[3] >> 7) as u8;
+        out[21] = (limbs[3] >> 15) as u8;
+        out[22] = (limbs[3] >> 23) as u8;
+        out[23] = (limbs[3] >> 31) as u8;
+        out[24] = (limbs[3] >> 39) as u8;
+        out[25] = ((limbs[3] >> 47) | (limbs[4] << 4)) as u8;
+        out[26] = (limbs[4] >> 4) as u8;
+        out[27] = (limbs[4] >> 12) as u8;
+        out[28] = (limbs[4] >> 20) as u8;
+        out[29] = (limbs[4] >> 28) as u8;
+        out[30] = (limbs[4] >> 36) as u8;
+        out[31] = (limbs[4] >> 44) as u8;
+        out
+    }
+
+    /// Reduces a 64-byte wide hash output into the field (little-endian).
+    ///
+    /// Used for hash-to-field: the bias from reducing 512 uniform bits mod p
+    /// is negligible.
+    pub fn from_wide_bytes(bytes: &[u8; 64]) -> Self {
+        // Split into low 255 bits and the rest: value = lo + 2^255 * hi_chunks.
+        // 2^255 = 19 (mod p), 2^510 = 361 (mod p).
+        let mut lo_bytes = [0u8; 32];
+        lo_bytes.copy_from_slice(&bytes[..32]);
+        let top_bit_lo = (lo_bytes[31] >> 7) as u64;
+        lo_bytes[31] &= 0x7f;
+        let lo = FieldElement::from_bytes(&lo_bytes);
+
+        let mut hi_bytes = [0u8; 32];
+        hi_bytes.copy_from_slice(&bytes[32..]);
+        let top_bit_hi = (hi_bytes[31] >> 7) as u64;
+        hi_bytes[31] &= 0x7f;
+        let hi = FieldElement::from_bytes(&hi_bytes);
+
+        // value = lo + 2^255*top_bit_lo + 2^256*(hi + 2^255*top_bit_hi)
+        //       = lo + 19*top_bit_lo + 38*hi + 38*19*top_bit_hi   (mod p)
+        let mut acc = lo;
+        acc = acc.add(&FieldElement::from_u64(19 * top_bit_lo));
+        acc = acc.add(&hi.mul(&FieldElement::from_u64(38)));
+        acc = acc.add(&FieldElement::from_u64(38 * 19 * top_bit_hi));
+        acc
+    }
+
+    /// Addition in the field.
+    pub fn add(&self, other: &FieldElement) -> FieldElement {
+        let mut limbs = [0u64; 5];
+        for i in 0..5 {
+            limbs[i] = self.0[i] + other.0[i];
+        }
+        let mut fe = FieldElement(limbs);
+        fe.weak_reduce();
+        fe
+    }
+
+    /// Subtraction in the field.
+    pub fn sub(&self, other: &FieldElement) -> FieldElement {
+        // Add 16 p before subtracting so limbs never underflow (inputs are
+        // weakly reduced, so each limb is < 2^52 < 16 * (2^51 - 19)).
+        const SIXTEEN_P: [u64; 5] = [
+            36_028_797_018_963_664,
+            36_028_797_018_963_952,
+            36_028_797_018_963_952,
+            36_028_797_018_963_952,
+            36_028_797_018_963_952,
+        ];
+        let mut limbs = [0u64; 5];
+        for i in 0..5 {
+            limbs[i] = self.0[i] + SIXTEEN_P[i] - other.0[i];
+        }
+        let mut fe = FieldElement(limbs);
+        fe.weak_reduce();
+        fe
+    }
+
+    /// Negation in the field.
+    pub fn neg(&self) -> FieldElement {
+        FieldElement::ZERO.sub(self)
+    }
+
+    /// Multiplication in the field.
+    pub fn mul(&self, other: &FieldElement) -> FieldElement {
+        let a = &self.0;
+        let b = &other.0;
+
+        // Pre-multiply the wrap-around terms by 19 (since 2^255 = 19 mod p).
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+
+        let c0 = m(a[0], b[0]) + m(a[4], b1_19) + m(a[3], b2_19) + m(a[2], b3_19) + m(a[1], b4_19);
+        let mut c1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[4], b2_19) + m(a[3], b3_19) + m(a[2], b4_19);
+        let mut c2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[4], b3_19) + m(a[3], b4_19);
+        let mut c3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let mut c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        // Carry propagation.
+        let mut out = [0u64; 5];
+        c1 += (c0 >> 51) as u128;
+        out[0] = (c0 as u64) & LOW_51_BIT_MASK;
+        c2 += (c1 >> 51) as u128;
+        out[1] = (c1 as u64) & LOW_51_BIT_MASK;
+        c3 += (c2 >> 51) as u128;
+        out[2] = (c2 as u64) & LOW_51_BIT_MASK;
+        c4 += (c3 >> 51) as u128;
+        out[3] = (c3 as u64) & LOW_51_BIT_MASK;
+        let carry = (c4 >> 51) as u64;
+        out[4] = (c4 as u64) & LOW_51_BIT_MASK;
+        out[0] += carry * 19;
+        out[1] += out[0] >> 51;
+        out[0] &= LOW_51_BIT_MASK;
+
+        FieldElement(out)
+    }
+
+    /// Squaring (just multiplication by self; clarity over speed).
+    pub fn square(&self) -> FieldElement {
+        self.mul(self)
+    }
+
+    /// Raises the element to the power given by a 256-bit little-endian
+    /// exponent expressed as four `u64` limbs.
+    pub fn pow_limbs(&self, exponent: &[u64; 4]) -> FieldElement {
+        let mut result = FieldElement::ONE;
+        // Process bits from most significant to least significant.
+        for limb_idx in (0..4).rev() {
+            for bit in (0..64).rev() {
+                result = result.square();
+                if (exponent[limb_idx] >> bit) & 1 == 1 {
+                    result = result.mul(self);
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse. Returns zero for zero (callers that care must
+    /// check [`FieldElement::is_zero`] themselves).
+    pub fn invert(&self) -> FieldElement {
+        // p - 2 = 2^255 - 21.
+        const P_MINUS_2: [u64; 4] = [
+            0xffff_ffff_ffff_ffeb,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x7fff_ffff_ffff_ffff,
+        ];
+        self.pow_limbs(&P_MINUS_2)
+    }
+
+    /// Returns a square root of the element if one exists.
+    ///
+    /// Since p ≡ 5 (mod 8), the candidate is `self^((p+3)/8)`, possibly
+    /// multiplied by `sqrt(-1)`. The returned root is the one whose canonical
+    /// encoding has an even low bit ("non-negative").
+    pub fn sqrt(&self) -> Option<FieldElement> {
+        // (p + 3) / 8 = 2^252 - 2.
+        const EXP: [u64; 4] = [
+            0xffff_ffff_ffff_fffe,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x0fff_ffff_ffff_ffff,
+        ];
+        let candidate = self.pow_limbs(&EXP);
+        let square = candidate.square();
+        let root = if square == *self {
+            candidate
+        } else if square == self.neg() {
+            candidate.mul(&sqrt_minus_one())
+        } else {
+            return None;
+        };
+        // Normalize sign.
+        if root.is_negative() {
+            Some(root.neg())
+        } else {
+            Some(root)
+        }
+    }
+
+    /// True when the element is zero.
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// "Sign" of the element: the low bit of its canonical encoding.
+    pub fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// Conditionally negates so the result has the requested sign bit.
+    pub fn with_sign(&self, negative: bool) -> FieldElement {
+        if self.is_negative() == negative {
+            *self
+        } else {
+            self.neg()
+        }
+    }
+
+    fn weak_reduce(&mut self) {
+        weak_reduce_limbs(&mut self.0);
+    }
+}
+
+/// The constant sqrt(-1) = 2^((p-1)/4) mod p.
+pub fn sqrt_minus_one() -> FieldElement {
+    use std::sync::OnceLock;
+    static SQRT_M1: OnceLock<FieldElement> = OnceLock::new();
+    *SQRT_M1.get_or_init(|| {
+        // (p - 1) / 4 = 2^253 - 5.
+        const EXP: [u64; 4] = [
+            0xffff_ffff_ffff_fffb,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x1fff_ffff_ffff_ffff,
+        ];
+        FieldElement::from_u64(2).pow_limbs(&EXP)
+    })
+}
+
+fn weak_reduce_limbs(limbs: &mut [u64; 5]) {
+    // One pass of carry propagation keeps limbs below 2^52 when inputs are
+    // below 2^63; run it twice to be safe after additions of large values.
+    for _ in 0..2 {
+        let carry0 = limbs[0] >> 51;
+        limbs[0] &= LOW_51_BIT_MASK;
+        limbs[1] += carry0;
+        let carry1 = limbs[1] >> 51;
+        limbs[1] &= LOW_51_BIT_MASK;
+        limbs[2] += carry1;
+        let carry2 = limbs[2] >> 51;
+        limbs[2] &= LOW_51_BIT_MASK;
+        limbs[3] += carry2;
+        let carry3 = limbs[3] >> 51;
+        limbs[3] &= LOW_51_BIT_MASK;
+        limbs[4] += carry3;
+        let carry4 = limbs[4] >> 51;
+        limbs[4] &= LOW_51_BIT_MASK;
+        limbs[0] += carry4 * 19;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_fe(rng: &mut StdRng) -> FieldElement {
+        let mut bytes = [0u8; 32];
+        rng.fill(&mut bytes);
+        bytes[31] &= 0x7f;
+        FieldElement::from_bytes(&bytes)
+    }
+
+    #[test]
+    fn zero_and_one_roundtrip() {
+        assert_eq!(FieldElement::ZERO.to_bytes(), [0u8; 32]);
+        let mut one = [0u8; 32];
+        one[0] = 1;
+        assert_eq!(FieldElement::ONE.to_bytes(), one);
+        assert_eq!(FieldElement::from_bytes(&one), FieldElement::ONE);
+    }
+
+    #[test]
+    fn from_bytes_reduces_p_to_zero() {
+        // p = 2^255 - 19 encoded little-endian.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        let fe = FieldElement::from_bytes(&p_bytes);
+        assert!(fe.is_zero());
+    }
+
+    #[test]
+    fn p_minus_one_is_canonical() {
+        let mut bytes = [0xffu8; 32];
+        bytes[0] = 0xec;
+        bytes[31] = 0x7f;
+        let fe = FieldElement::from_bytes(&bytes);
+        assert_eq!(fe.to_bytes(), bytes);
+        assert_eq!(fe.add(&FieldElement::ONE), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a = random_fe(&mut rng);
+            let b = random_fe(&mut rng);
+            assert_eq!(a.add(&b).sub(&b), a);
+            assert_eq!(a.sub(&b).add(&b), a);
+            assert_eq!(a.sub(&a), FieldElement::ZERO);
+        }
+    }
+
+    #[test]
+    fn multiplication_identities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let a = random_fe(&mut rng);
+            assert_eq!(a.mul(&FieldElement::ONE), a);
+            assert_eq!(a.mul(&FieldElement::ZERO), FieldElement::ZERO);
+        }
+    }
+
+    #[test]
+    fn small_integer_multiplication() {
+        let six = FieldElement::from_u64(6);
+        let seven = FieldElement::from_u64(7);
+        assert_eq!(six.mul(&seven), FieldElement::from_u64(42));
+        assert_eq!(
+            FieldElement::from_u64(u64::MAX)
+                .add(&FieldElement::ONE)
+                .to_bytes()[8],
+            1,
+            "2^64 should set the 9th byte"
+        );
+    }
+
+    #[test]
+    fn inversion() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let a = random_fe(&mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a.mul(&a.invert()), FieldElement::ONE);
+        }
+        assert_eq!(FieldElement::ZERO.invert(), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn sqrt_of_squares() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let a = random_fe(&mut rng);
+            let sq = a.square();
+            let root = sq.sqrt().expect("squares have roots");
+            assert_eq!(root.square(), sq);
+        }
+    }
+
+    #[test]
+    fn sqrt_minus_one_squares_to_minus_one() {
+        let i = sqrt_minus_one();
+        assert_eq!(i.square(), FieldElement::ONE.neg());
+    }
+
+    #[test]
+    fn non_residue_has_no_root() {
+        // p ≡ 5 (mod 8), so 2 is a quadratic non-residue; and because
+        // -1 is a residue (p ≡ 1 mod 4), -2 is a non-residue as well.
+        let two = FieldElement::from_u64(2);
+        assert!(two.sqrt().is_none());
+        assert!(two.neg().sqrt().is_none());
+        // Sanity: perfect squares of small integers round-trip.
+        assert_eq!(
+            FieldElement::from_u64(4).sqrt().unwrap(),
+            FieldElement::from_u64(2)
+        );
+        // sqrt returns the root with even low bit; for 9 that is p - 3.
+        let root_of_nine = FieldElement::from_u64(9).sqrt().unwrap();
+        assert_eq!(root_of_nine.square(), FieldElement::from_u64(9));
+        assert!(!root_of_nine.is_negative());
+    }
+
+    #[test]
+    fn from_wide_bytes_matches_narrow_for_small_values() {
+        let mut wide = [0u8; 64];
+        wide[0] = 200;
+        wide[1] = 13;
+        assert_eq!(
+            FieldElement::from_wide_bytes(&wide),
+            FieldElement::from_u64(200 + 13 * 256)
+        );
+    }
+
+    #[test]
+    fn from_wide_bytes_reduces_2_255_to_19() {
+        let mut wide = [0u8; 64];
+        wide[31] = 0x80; // 2^255
+        assert_eq!(
+            FieldElement::from_wide_bytes(&wide),
+            FieldElement::from_u64(19)
+        );
+        let mut wide2 = [0u8; 64];
+        wide2[32] = 1; // 2^256
+        assert_eq!(
+            FieldElement::from_wide_bytes(&wide2),
+            FieldElement::from_u64(38)
+        );
+    }
+
+    #[test]
+    fn sign_normalization() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_fe(&mut rng);
+        assert!(!a.with_sign(false).is_negative());
+        assert!(a.with_sign(true).is_negative() || a.is_zero());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_mul_commutes(a_seed in any::<u64>(), b_seed in any::<u64>()) {
+            let mut ra = StdRng::seed_from_u64(a_seed);
+            let mut rb = StdRng::seed_from_u64(b_seed);
+            let a = random_fe(&mut ra);
+            let b = random_fe(&mut rb);
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+        }
+
+        #[test]
+        fn prop_mul_associates(s in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(s);
+            let a = random_fe(&mut rng);
+            let b = random_fe(&mut rng);
+            let c = random_fe(&mut rng);
+            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        }
+
+        #[test]
+        fn prop_distributive(s in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(s);
+            let a = random_fe(&mut rng);
+            let b = random_fe(&mut rng);
+            let c = random_fe(&mut rng);
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(s in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(s);
+            let a = random_fe(&mut rng);
+            prop_assert_eq!(FieldElement::from_bytes(&a.to_bytes()), a);
+        }
+
+        #[test]
+        fn prop_square_matches_mul(s in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(s);
+            let a = random_fe(&mut rng);
+            prop_assert_eq!(a.square(), a.mul(&a));
+        }
+    }
+}

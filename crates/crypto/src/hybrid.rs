@@ -1,0 +1,226 @@
+//! Hybrid public-key encryption (ECIES-style): the building block of ESA's
+//! *nested encryption*.
+//!
+//! A client that wants a payload readable only by the analyzer, wrapped so
+//! that only the shuffler can remove the outer layer, simply applies
+//! [`HybridCiphertext::seal`] twice with different recipient keys. Each layer
+//! is: fresh ephemeral Diffie–Hellman key, HKDF to derive an AEAD key, then
+//! AEAD with the recipient's role string as associated data.
+
+use rand::Rng;
+
+use crate::aead::{self, AeadKey};
+use crate::ecdh::{EphemeralSecret, PublicKey, StaticSecret};
+use crate::error::CryptoError;
+
+/// A keypair for a party that receives hybrid-encrypted messages (the
+/// shuffler or the analyzer).
+#[derive(Clone, Debug)]
+pub struct HybridKeypair {
+    secret: StaticSecret,
+    public: PublicKey,
+}
+
+impl HybridKeypair {
+    /// Generates a fresh keypair.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let secret = StaticSecret::random(rng);
+        let public = secret.public_key();
+        Self { secret, public }
+    }
+
+    /// Deterministic keypair from a seed (tests, attestation fixtures).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let secret = StaticSecret::from_seed(seed);
+        let public = secret.public_key();
+        Self { secret, public }
+    }
+
+    /// The public (encryption) key to embed in client software.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// The private key, for the decrypting service.
+    pub fn secret(&self) -> &StaticSecret {
+        &self.secret
+    }
+}
+
+/// One layer of hybrid encryption: ephemeral public key, nonce and sealed
+/// payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HybridCiphertext {
+    /// The sender's ephemeral public key.
+    pub ephemeral: [u8; 32],
+    /// AEAD nonce.
+    pub nonce: [u8; aead::NONCE_LEN],
+    /// AEAD ciphertext followed by the tag.
+    pub sealed: Vec<u8>,
+}
+
+impl HybridCiphertext {
+    /// Encrypts `plaintext` to `recipient`, binding `aad`.
+    pub fn seal<R: Rng + ?Sized>(
+        rng: &mut R,
+        recipient: &PublicKey,
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> Result<Self, CryptoError> {
+        let ephemeral = EphemeralSecret::random(rng);
+        let ephemeral_public = ephemeral.public_key();
+        let key_bytes = ephemeral.agree(recipient, b"prochlo-hybrid-v1")?;
+        let key = AeadKey::from_bytes(key_bytes);
+        let mut nonce = [0u8; aead::NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        let sealed = aead::seal(&key, &nonce, aad, plaintext);
+        Ok(Self {
+            ephemeral: ephemeral_public.to_bytes(),
+            nonce,
+            sealed,
+        })
+    }
+
+    /// Decrypts a layer with the recipient's static secret.
+    pub fn open(&self, recipient: &StaticSecret, aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let ephemeral = PublicKey::from_bytes(self.ephemeral)?;
+        let key_bytes = recipient.agree(&ephemeral, b"prochlo-hybrid-v1")?;
+        let key = AeadKey::from_bytes(key_bytes);
+        aead::open(&key, &self.nonce, aad, &self.sealed)
+    }
+
+    /// Serializes to a flat byte string (`ephemeral || nonce || sealed`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + aead::NONCE_LEN + self.sealed.len());
+        out.extend_from_slice(&self.ephemeral);
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.sealed);
+        out
+    }
+
+    /// Parses the flat byte encoding produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() < 32 + aead::NONCE_LEN + aead::TAG_LEN {
+            return Err(CryptoError::InvalidEncoding("hybrid ciphertext too short"));
+        }
+        let mut ephemeral = [0u8; 32];
+        ephemeral.copy_from_slice(&bytes[..32]);
+        let mut nonce = [0u8; aead::NONCE_LEN];
+        nonce.copy_from_slice(&bytes[32..32 + aead::NONCE_LEN]);
+        Ok(Self {
+            ephemeral,
+            nonce,
+            sealed: bytes[32 + aead::NONCE_LEN..].to_vec(),
+        })
+    }
+
+    /// Size in bytes of the wire encoding.
+    pub fn wire_len(&self) -> usize {
+        32 + aead::NONCE_LEN + self.sealed.len()
+    }
+
+    /// The per-layer ciphertext expansion over the plaintext length.
+    pub const fn layer_overhead() -> usize {
+        32 + aead::NONCE_LEN + aead::TAG_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let recipient = HybridKeypair::generate(&mut rng);
+        let ct =
+            HybridCiphertext::seal(&mut rng, recipient.public_key(), b"role", b"hello").unwrap();
+        assert_eq!(ct.open(recipient.secret(), b"role").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn wrong_recipient_fails() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let alice = HybridKeypair::generate(&mut rng);
+        let eve = HybridKeypair::generate(&mut rng);
+        let ct = HybridCiphertext::seal(&mut rng, alice.public_key(), b"", b"secret").unwrap();
+        assert!(ct.open(eve.secret(), b"").is_err());
+    }
+
+    #[test]
+    fn wrong_aad_fails() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let recipient = HybridKeypair::generate(&mut rng);
+        let ct = HybridCiphertext::seal(&mut rng, recipient.public_key(), b"a", b"x").unwrap();
+        assert!(ct.open(recipient.secret(), b"b").is_err());
+    }
+
+    #[test]
+    fn nesting_two_layers_models_esa() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let shuffler = HybridKeypair::generate(&mut rng);
+        let analyzer = HybridKeypair::generate(&mut rng);
+
+        // Inner layer: to the analyzer. Outer layer: to the shuffler.
+        let inner =
+            HybridCiphertext::seal(&mut rng, analyzer.public_key(), b"analyzer", b"payload")
+                .unwrap();
+        let outer = HybridCiphertext::seal(
+            &mut rng,
+            shuffler.public_key(),
+            b"shuffler",
+            &inner.to_bytes(),
+        )
+        .unwrap();
+
+        // The shuffler peels one layer but cannot read the payload.
+        let peeled = outer.open(shuffler.secret(), b"shuffler").unwrap();
+        let inner_parsed = HybridCiphertext::from_bytes(&peeled).unwrap();
+        assert!(inner_parsed.open(shuffler.secret(), b"analyzer").is_err());
+        // The analyzer reads the payload.
+        assert_eq!(
+            inner_parsed.open(analyzer.secret(), b"analyzer").unwrap(),
+            b"payload"
+        );
+    }
+
+    #[test]
+    fn byte_encoding_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let recipient = HybridKeypair::generate(&mut rng);
+        let ct = HybridCiphertext::seal(&mut rng, recipient.public_key(), b"", b"data").unwrap();
+        let parsed = HybridCiphertext::from_bytes(&ct.to_bytes()).unwrap();
+        assert_eq!(parsed, ct);
+        assert_eq!(ct.wire_len(), ct.to_bytes().len());
+    }
+
+    #[test]
+    fn truncated_encoding_is_rejected() {
+        assert!(HybridCiphertext::from_bytes(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn each_seal_uses_fresh_randomness() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let recipient = HybridKeypair::generate(&mut rng);
+        let a = HybridCiphertext::seal(&mut rng, recipient.public_key(), b"", b"same").unwrap();
+        let b = HybridCiphertext::seal(&mut rng, recipient.public_key(), b"", b"same").unwrap();
+        assert_ne!(a.ephemeral, b.ephemeral);
+        assert_ne!(a.sealed, b.sealed);
+    }
+
+    #[test]
+    fn layer_overhead_matches_reality() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let recipient = HybridKeypair::generate(&mut rng);
+        let plaintext = vec![0u8; 100];
+        let ct =
+            HybridCiphertext::seal(&mut rng, recipient.public_key(), b"", &plaintext).unwrap();
+        assert_eq!(
+            ct.wire_len(),
+            plaintext.len() + HybridCiphertext::layer_overhead()
+        );
+    }
+}

@@ -1,0 +1,361 @@
+//! Arithmetic modulo the order ℓ of the prime-order subgroup of the Edwards
+//! curve, ℓ = 2²⁵² + 27742317777372353535851937790883648493.
+//!
+//! Scalars are what exponents "are" in the protocol descriptions of the
+//! paper: Diffie–Hellman private keys, El Gamal randomness, the blinding
+//! exponent α of the split shuffler, and Schnorr signature values. Only a
+//! handful of scalar operations happen per report, so the implementation
+//! favours obviousness over speed: multiplication is a 256-step
+//! double-and-add (Russian peasant) reduction, which is easy to audit and
+//! plenty fast for the cold paths that use it.
+
+use std::cmp::Ordering;
+
+use rand::Rng;
+
+use crate::sha256::Sha256;
+
+/// The group order ℓ as four little-endian 64-bit limbs.
+const L: [u64; 4] = [
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0x0000_0000_0000_0000,
+    0x1000_0000_0000_0000,
+];
+
+/// An integer modulo ℓ, stored as four little-endian 64-bit limbs, always
+/// fully reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scalar([u64; 4]);
+
+impl std::fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Scalar({})", crate::util::to_hex(&self.to_bytes()))
+    }
+}
+
+fn compare(a: &[u64; 4], b: &[u64; 4]) -> Ordering {
+    for i in (0..4).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+fn raw_add(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], bool) {
+    let mut out = [0u64; 4];
+    let mut carry = false;
+    for i in 0..4 {
+        let (sum1, c1) = a[i].overflowing_add(b[i]);
+        let (sum2, c2) = sum1.overflowing_add(carry as u64);
+        out[i] = sum2;
+        carry = c1 || c2;
+    }
+    (out, carry)
+}
+
+fn raw_sub(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], bool) {
+    let mut out = [0u64; 4];
+    let mut borrow = false;
+    for i in 0..4 {
+        let (diff1, b1) = a[i].overflowing_sub(b[i]);
+        let (diff2, b2) = diff1.overflowing_sub(borrow as u64);
+        out[i] = diff2;
+        borrow = b1 || b2;
+    }
+    (out, borrow)
+}
+
+impl Scalar {
+    /// The scalar 0.
+    pub fn zero() -> Scalar {
+        Scalar([0; 4])
+    }
+
+    /// The scalar 1.
+    pub fn one() -> Scalar {
+        Scalar::from_u64(1)
+    }
+
+    /// Builds a scalar from a small integer.
+    pub fn from_u64(x: u64) -> Scalar {
+        Scalar([x, 0, 0, 0])
+    }
+
+    /// Loads 32 little-endian bytes and reduces modulo ℓ.
+    pub fn from_bytes_mod_order(bytes: &[u8; 32]) -> Scalar {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            limbs[i] = crate::util::load_u64_le(&bytes[i * 8..]);
+        }
+        // The value is below 2^256 < 16 ℓ, so a few conditional subtractions
+        // fully reduce it.
+        while compare(&limbs, &L) != Ordering::Less {
+            let (reduced, borrow) = raw_sub(&limbs, &L);
+            debug_assert!(!borrow);
+            limbs = reduced;
+        }
+        Scalar(limbs)
+    }
+
+    /// Reduces 64 bytes (e.g. a wide hash output) modulo ℓ, treating them as
+    /// a big little-endian integer.
+    pub fn from_bytes_mod_order_wide(bytes: &[u8; 64]) -> Scalar {
+        // Horner over bits, most significant first: cheap and obviously right.
+        let mut acc = Scalar::zero();
+        for byte_idx in (0..64).rev() {
+            for bit in (0..8).rev() {
+                acc = acc.add(&acc);
+                if (bytes[byte_idx] >> bit) & 1 == 1 {
+                    acc = acc.add(&Scalar::one());
+                }
+            }
+        }
+        acc
+    }
+
+    /// Serializes to 32 little-endian bytes (< ℓ).
+    pub fn to_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.0[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Uniformly random scalar.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Scalar {
+        let mut wide = [0u8; 64];
+        rng.fill_bytes(&mut wide);
+        Scalar::from_bytes_mod_order_wide(&wide)
+    }
+
+    /// A non-zero uniformly random scalar (rejection-sampled).
+    pub fn random_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Scalar {
+        loop {
+            let s = Scalar::random(rng);
+            if s != Scalar::zero() {
+                return s;
+            }
+        }
+    }
+
+    /// Hashes arbitrary byte strings to a scalar (domain-separated SHA-256).
+    pub fn hash_from_bytes(parts: &[&[u8]]) -> Scalar {
+        let mut h1 = Sha256::new();
+        h1.update(b"prochlo-hash-to-scalar-1");
+        let mut h2 = Sha256::new();
+        h2.update(b"prochlo-hash-to-scalar-2");
+        for part in parts {
+            h1.update(&(part.len() as u64).to_le_bytes());
+            h1.update(part);
+            h2.update(&(part.len() as u64).to_le_bytes());
+            h2.update(part);
+        }
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&h1.finalize());
+        wide[32..].copy_from_slice(&h2.finalize());
+        Scalar::from_bytes_mod_order_wide(&wide)
+    }
+
+    /// Addition modulo ℓ.
+    pub fn add(&self, other: &Scalar) -> Scalar {
+        let (sum, carry) = raw_add(&self.0, &other.0);
+        debug_assert!(!carry, "reduced scalars never overflow 2^256 when added");
+        let mut limbs = sum;
+        if compare(&limbs, &L) != Ordering::Less {
+            let (reduced, _) = raw_sub(&limbs, &L);
+            limbs = reduced;
+        }
+        Scalar(limbs)
+    }
+
+    /// Subtraction modulo ℓ.
+    pub fn sub(&self, other: &Scalar) -> Scalar {
+        if compare(&self.0, &other.0) != Ordering::Less {
+            let (diff, _) = raw_sub(&self.0, &other.0);
+            Scalar(diff)
+        } else {
+            let (bumped, _) = raw_add(&self.0, &L);
+            let (diff, _) = raw_sub(&bumped, &other.0);
+            Scalar(diff)
+        }
+    }
+
+    /// Negation modulo ℓ.
+    pub fn neg(&self) -> Scalar {
+        Scalar::zero().sub(self)
+    }
+
+    /// Multiplication modulo ℓ (double-and-add).
+    pub fn mul(&self, other: &Scalar) -> Scalar {
+        let mut acc = Scalar::zero();
+        let bytes = other.to_bytes();
+        for byte_idx in (0..32).rev() {
+            for bit in (0..8).rev() {
+                acc = acc.add(&acc);
+                if (bytes[byte_idx] >> bit) & 1 == 1 {
+                    acc = acc.add(self);
+                }
+            }
+        }
+        acc
+    }
+
+    /// True when the scalar is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn l_minus_one() -> Scalar {
+        Scalar::zero().sub(&Scalar::one())
+    }
+
+    #[test]
+    fn zero_and_one_behave() {
+        assert!(Scalar::zero().is_zero());
+        assert!(!Scalar::one().is_zero());
+        assert_eq!(Scalar::one().add(&Scalar::zero()), Scalar::one());
+        assert_eq!(Scalar::one().mul(&Scalar::zero()), Scalar::zero());
+        assert_eq!(Scalar::one().mul(&Scalar::one()), Scalar::one());
+    }
+
+    #[test]
+    fn small_arithmetic_matches_integers() {
+        let a = Scalar::from_u64(123_456_789);
+        let b = Scalar::from_u64(987_654_321);
+        assert_eq!(a.add(&b), Scalar::from_u64(1_111_111_110));
+        assert_eq!(b.sub(&a), Scalar::from_u64(864_197_532));
+        assert_eq!(
+            Scalar::from_u64(1 << 30).mul(&Scalar::from_u64(1 << 20)),
+            Scalar::from_u64(1 << 50)
+        );
+    }
+
+    #[test]
+    fn l_wraps_to_zero() {
+        // ℓ expressed via its limbs must reduce to 0.
+        let mut l_bytes = [0u8; 32];
+        for i in 0..4 {
+            l_bytes[i * 8..i * 8 + 8].copy_from_slice(&L[i].to_le_bytes());
+        }
+        assert!(Scalar::from_bytes_mod_order(&l_bytes).is_zero());
+        // (ℓ - 1) + 1 == 0.
+        assert_eq!(l_minus_one().add(&Scalar::one()), Scalar::zero());
+    }
+
+    #[test]
+    fn sub_wraps_correctly() {
+        assert_eq!(Scalar::zero().sub(&Scalar::one()), l_minus_one());
+        assert_eq!(Scalar::one().sub(&Scalar::one()), Scalar::zero());
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let a = Scalar::random(&mut rng);
+            assert_eq!(a.add(&a.neg()), Scalar::zero());
+        }
+    }
+
+    #[test]
+    fn wide_reduction_matches_narrow_for_small_inputs() {
+        let mut narrow = [0u8; 32];
+        narrow[0] = 0xaa;
+        narrow[9] = 0x55;
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&narrow);
+        assert_eq!(
+            Scalar::from_bytes_mod_order(&narrow),
+            Scalar::from_bytes_mod_order_wide(&wide)
+        );
+    }
+
+    #[test]
+    fn to_bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let a = Scalar::random(&mut rng);
+            assert_eq!(Scalar::from_bytes_mod_order(&a.to_bytes()), a);
+        }
+    }
+
+    #[test]
+    fn hash_from_bytes_is_deterministic_and_framed() {
+        let a = Scalar::hash_from_bytes(&[b"ab", b"c"]);
+        let b = Scalar::hash_from_bytes(&[b"ab", b"c"]);
+        let c = Scalar::hash_from_bytes(&[b"a", b"bc"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "length framing must separate part boundaries");
+    }
+
+    #[test]
+    fn random_scalars_differ() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_ne!(Scalar::random(&mut rng), Scalar::random(&mut rng));
+        assert!(!Scalar::random_nonzero(&mut rng).is_zero());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_add_commutes(x in any::<u64>(), y in any::<u64>()) {
+            let mut rx = StdRng::seed_from_u64(x);
+            let mut ry = StdRng::seed_from_u64(y);
+            let a = Scalar::random(&mut rx);
+            let b = Scalar::random(&mut ry);
+            prop_assert_eq!(a.add(&b), b.add(&a));
+        }
+
+        #[test]
+        fn prop_mul_commutes_and_associates(s in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(s);
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            let c = Scalar::random(&mut rng);
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        }
+
+        #[test]
+        fn prop_distributive(s in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(s);
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            let c = Scalar::random(&mut rng);
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        }
+
+        #[test]
+        fn prop_sub_add_roundtrip(s in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(s);
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            prop_assert_eq!(a.sub(&b).add(&b), a);
+        }
+
+        #[test]
+        fn prop_small_mul_matches_u128(x in 0u64..u64::MAX, y in 0u64..u64::MAX) {
+            // Products below 2^128 never reach ℓ, so they must match integer math.
+            let prod = (x as u128) * (y as u128);
+            let expected_lo = prod as u64;
+            let expected_hi = (prod >> 64) as u64;
+            let result = Scalar::from_u64(x).mul(&Scalar::from_u64(y));
+            let bytes = result.to_bytes();
+            prop_assert_eq!(crate::util::load_u64_le(&bytes[0..8]), expected_lo);
+            prop_assert_eq!(crate::util::load_u64_le(&bytes[8..16]), expected_hi);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Seeded synthetic workload generators for the four evaluation pipelines.
+//!
+//! The paper's datasets (a 3-billion-word discussion-board corpus, Chrome
+//! permissions telemetry, YouTube view logs and a Netflix-Prize-shaped
+//! ratings corpus) are proprietary; DESIGN.md documents the substitution
+//! argument for each. Every generator here is deterministic given a seed, so
+//! benchmark tables are reproducible run to run.
+
+pub mod perms;
+pub mod ratings;
+pub mod views;
+pub mod vocab;
+
+pub use perms::{PermissionAction, PermissionFeature, PermsEvent, PermsGenerator};
+pub use ratings::{Rating, RatingsConfig, RatingsGenerator};
+pub use views::{ViewConfig, ViewGenerator};
+pub use vocab::VocabCorpus;

@@ -1,0 +1,21 @@
+//! Local differential privacy baselines.
+//!
+//! The paper motivates ESA by the limits of *local* DP systems, chiefly
+//! RAPPOR (which the authors built and operated for Chrome). To reproduce
+//! the comparisons of Figure 5 and §5.3 we implement:
+//!
+//! * [`rappor`] — Bloom-filter-based permanent randomized response with a
+//!   candidate-based decoder and significance testing, which is what the
+//!   "RAPPOR (ε=2, δ=0)" line of Figure 5 runs;
+//! * [`partition`] — the partitioned variant sketched in §2.2, where reports
+//!   are split into disjoint partitions keyed by a hash of the value so each
+//!   partition has a lower noise floor (the "Partition" line of Figure 5);
+//! * [`response`] — plain binary/k-ary randomized response and its ε
+//!   bookkeeping, shared by the other modules.
+
+pub mod partition;
+pub mod rappor;
+pub mod response;
+
+pub use partition::PartitionedRappor;
+pub use rappor::{RapporAggregate, RapporEncoder, RapporParams};

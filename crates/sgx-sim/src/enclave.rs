@@ -1,0 +1,381 @@
+//! The enclave memory / boundary model.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use prochlo_crypto::sha256::sha256;
+
+/// Configuration of a simulated enclave.
+#[derive(Debug, Clone)]
+pub struct EnclaveConfig {
+    /// Usable private memory in bytes (the EPC budget).
+    pub private_memory_bytes: usize,
+    /// Whether to record a full access trace (one event per boundary
+    /// crossing). Traces are what the obliviousness tests inspect; large
+    /// production-sized runs can disable them to save memory.
+    pub record_trace: bool,
+    /// Human-readable identity of the code "loaded" into the enclave; its
+    /// hash becomes the measurement reported in attestation quotes.
+    pub code_identity: String,
+}
+
+impl Default for EnclaveConfig {
+    fn default() -> Self {
+        Self {
+            private_memory_bytes: crate::DEFAULT_EPC_BYTES,
+            record_trace: false,
+            code_identity: "prochlo-shuffler".to_string(),
+        }
+    }
+}
+
+/// Errors surfaced by the enclave simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnclaveError {
+    /// A private-memory allocation would exceed the EPC budget.
+    OutOfPrivateMemory {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes still available inside the budget.
+        available: usize,
+    },
+    /// A release did not match an earlier charge.
+    ReleaseUnderflow,
+}
+
+impl fmt::Display for EnclaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnclaveError::OutOfPrivateMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "enclave out of private memory: requested {requested} bytes, {available} available"
+            ),
+            EnclaveError::ReleaseUnderflow => {
+                write!(f, "released more private memory than was charged")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnclaveError {}
+
+/// One observable boundary event (what the untrusted host can see).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// A label describing the operation (e.g. "read-input-bucket").
+    pub label: &'static str,
+    /// Index of the untrusted-memory object touched (bucket number, array
+    /// index, ...). This is exactly the information an observer gets.
+    pub index: usize,
+    /// Number of bytes crossing the boundary.
+    pub bytes: usize,
+    /// Direction: `true` for data entering the enclave.
+    pub into_enclave: bool,
+}
+
+/// Counters describing the work an enclave performed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnclaveMetrics {
+    /// Bytes copied from untrusted memory into the enclave (decrypted by the
+    /// memory-encryption engine).
+    pub bytes_in: u64,
+    /// Bytes copied from the enclave out to untrusted memory (encrypted by
+    /// the memory-encryption engine).
+    pub bytes_out: u64,
+    /// Number of calls out of the enclave into the untrusted runtime.
+    pub ocalls: u64,
+    /// Current private-memory usage in bytes.
+    pub private_in_use: usize,
+    /// High-water mark of private-memory usage in bytes.
+    pub private_peak: usize,
+}
+
+impl EnclaveMetrics {
+    /// Total bytes that crossed the enclave boundary in either direction.
+    pub fn boundary_bytes(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+}
+
+struct EnclaveState {
+    metrics: EnclaveMetrics,
+    trace: Vec<TraceEvent>,
+}
+
+/// A simulated SGX enclave: a private-memory budget, boundary accounting and
+/// an access trace, plus an identity (measurement) for attestation.
+#[derive(Clone)]
+pub struct Enclave {
+    config: EnclaveConfig,
+    measurement: [u8; 32],
+    state: Arc<Mutex<EnclaveState>>,
+}
+
+impl fmt::Debug for Enclave {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Enclave")
+            .field("code_identity", &self.config.code_identity)
+            .field("private_memory_bytes", &self.config.private_memory_bytes)
+            .finish()
+    }
+}
+
+impl Enclave {
+    /// Launches an enclave with the given configuration.
+    pub fn new(config: EnclaveConfig) -> Self {
+        let measurement = sha256(config.code_identity.as_bytes());
+        Self {
+            config,
+            measurement,
+            state: Arc::new(Mutex::new(EnclaveState {
+                metrics: EnclaveMetrics::default(),
+                trace: Vec::new(),
+            })),
+        }
+    }
+
+    /// Launches an enclave with the default (92 MB) budget.
+    pub fn with_default_config() -> Self {
+        Self::new(EnclaveConfig::default())
+    }
+
+    /// The enclave measurement (hash of the loaded code identity).
+    pub fn measurement(&self) -> [u8; 32] {
+        self.measurement
+    }
+
+    /// The configuration the enclave was launched with.
+    pub fn config(&self) -> &EnclaveConfig {
+        &self.config
+    }
+
+    /// Charges `bytes` of private memory, failing if the budget would be
+    /// exceeded.
+    pub fn charge_private(&self, bytes: usize) -> Result<(), EnclaveError> {
+        let mut state = self.state.lock();
+        let available = self
+            .config
+            .private_memory_bytes
+            .saturating_sub(state.metrics.private_in_use);
+        if bytes > available {
+            return Err(EnclaveError::OutOfPrivateMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        state.metrics.private_in_use += bytes;
+        state.metrics.private_peak = state.metrics.private_peak.max(state.metrics.private_in_use);
+        Ok(())
+    }
+
+    /// Releases `bytes` of private memory charged earlier.
+    pub fn release_private(&self, bytes: usize) -> Result<(), EnclaveError> {
+        let mut state = self.state.lock();
+        if bytes > state.metrics.private_in_use {
+            return Err(EnclaveError::ReleaseUnderflow);
+        }
+        state.metrics.private_in_use -= bytes;
+        Ok(())
+    }
+
+    /// Records `bytes` entering the enclave from untrusted object `index`.
+    pub fn copy_in(&self, label: &'static str, index: usize, bytes: usize) {
+        let mut state = self.state.lock();
+        state.metrics.bytes_in += bytes as u64;
+        if self.config.record_trace {
+            state.trace.push(TraceEvent {
+                label,
+                index,
+                bytes,
+                into_enclave: true,
+            });
+        }
+    }
+
+    /// Records `bytes` leaving the enclave to untrusted object `index`.
+    pub fn copy_out(&self, label: &'static str, index: usize, bytes: usize) {
+        let mut state = self.state.lock();
+        state.metrics.bytes_out += bytes as u64;
+        if self.config.record_trace {
+            state.trace.push(TraceEvent {
+                label,
+                index,
+                bytes,
+                into_enclave: false,
+            });
+        }
+    }
+
+    /// Records a call out of the enclave into the untrusted runtime.
+    pub fn ocall(&self) {
+        self.state.lock().metrics.ocalls += 1;
+    }
+
+    /// A snapshot of the current metrics.
+    pub fn metrics(&self) -> EnclaveMetrics {
+        self.state.lock().metrics.clone()
+    }
+
+    /// A copy of the recorded access trace (empty unless
+    /// [`EnclaveConfig::record_trace`] is set).
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.state.lock().trace.clone()
+    }
+
+    /// Clears metrics and trace (e.g. between shuffle attempts).
+    pub fn reset_accounting(&self) {
+        let mut state = self.state.lock();
+        state.metrics = EnclaveMetrics::default();
+        state.trace.clear();
+    }
+
+    /// Remaining private memory.
+    pub fn private_available(&self) -> usize {
+        let state = self.state.lock();
+        self.config
+            .private_memory_bytes
+            .saturating_sub(state.metrics.private_in_use)
+    }
+
+    /// Runs a closure with `bytes` of private memory charged for its
+    /// duration, releasing it afterwards even if the closure fails.
+    pub fn with_private<T>(
+        &self,
+        bytes: usize,
+        f: impl FnOnce() -> T,
+    ) -> Result<T, EnclaveError> {
+        self.charge_private(bytes)?;
+        let result = f();
+        self.release_private(bytes)
+            .expect("matching release cannot underflow");
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_enclave(bytes: usize) -> Enclave {
+        Enclave::new(EnclaveConfig {
+            private_memory_bytes: bytes,
+            record_trace: true,
+            code_identity: "test-enclave".into(),
+        })
+    }
+
+    #[test]
+    fn default_budget_matches_paper() {
+        let e = Enclave::with_default_config();
+        assert_eq!(e.config().private_memory_bytes, 92 * 1024 * 1024);
+    }
+
+    #[test]
+    fn measurement_depends_on_code_identity() {
+        let a = small_enclave(100);
+        let b = Enclave::new(EnclaveConfig {
+            code_identity: "other-code".into(),
+            ..EnclaveConfig::default()
+        });
+        assert_ne!(a.measurement(), b.measurement());
+        // Same code => same measurement (reproducible builds assumption).
+        assert_eq!(a.measurement(), small_enclave(200).measurement());
+    }
+
+    #[test]
+    fn charge_and_release_track_peak() {
+        let e = small_enclave(1000);
+        e.charge_private(400).unwrap();
+        e.charge_private(500).unwrap();
+        assert_eq!(e.metrics().private_in_use, 900);
+        assert_eq!(e.private_available(), 100);
+        e.release_private(500).unwrap();
+        e.charge_private(50).unwrap();
+        let m = e.metrics();
+        assert_eq!(m.private_in_use, 450);
+        assert_eq!(m.private_peak, 900);
+    }
+
+    #[test]
+    fn over_budget_allocation_fails() {
+        let e = small_enclave(1000);
+        e.charge_private(800).unwrap();
+        let err = e.charge_private(300).unwrap_err();
+        assert_eq!(
+            err,
+            EnclaveError::OutOfPrivateMemory {
+                requested: 300,
+                available: 200
+            }
+        );
+        // The failed charge must not corrupt accounting.
+        assert_eq!(e.metrics().private_in_use, 800);
+    }
+
+    #[test]
+    fn release_underflow_is_detected() {
+        let e = small_enclave(1000);
+        e.charge_private(10).unwrap();
+        assert_eq!(e.release_private(11), Err(EnclaveError::ReleaseUnderflow));
+    }
+
+    #[test]
+    fn with_private_releases_on_exit() {
+        let e = small_enclave(1000);
+        let out = e.with_private(600, || 42).unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(e.metrics().private_in_use, 0);
+        assert_eq!(e.metrics().private_peak, 600);
+        assert!(e.with_private(2000, || ()).is_err());
+    }
+
+    #[test]
+    fn boundary_accounting_and_trace() {
+        let e = small_enclave(1000);
+        e.copy_in("read-bucket", 3, 128);
+        e.copy_out("write-bucket", 7, 256);
+        e.ocall();
+        let m = e.metrics();
+        assert_eq!(m.bytes_in, 128);
+        assert_eq!(m.bytes_out, 256);
+        assert_eq!(m.boundary_bytes(), 384);
+        assert_eq!(m.ocalls, 1);
+        let trace = e.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].label, "read-bucket");
+        assert_eq!(trace[0].index, 3);
+        assert!(trace[0].into_enclave);
+        assert!(!trace[1].into_enclave);
+    }
+
+    #[test]
+    fn trace_disabled_by_default_config() {
+        let e = Enclave::with_default_config();
+        e.copy_in("x", 0, 10);
+        assert!(e.trace().is_empty());
+        assert_eq!(e.metrics().bytes_in, 10);
+    }
+
+    #[test]
+    fn reset_clears_accounting() {
+        let e = small_enclave(1000);
+        e.copy_in("x", 0, 10);
+        e.charge_private(5).unwrap();
+        e.reset_accounting();
+        assert_eq!(e.metrics(), EnclaveMetrics::default());
+        assert!(e.trace().is_empty());
+    }
+
+    #[test]
+    fn clones_share_accounting() {
+        let e = small_enclave(1000);
+        let e2 = e.clone();
+        e2.copy_in("x", 0, 7);
+        assert_eq!(e.metrics().bytes_in, 7);
+    }
+}

@@ -1,0 +1,270 @@
+//! Oblivious shuffling via Batcher's odd-even merge sorting network —
+//! the first baseline of §4.1.3.
+//!
+//! Sorting by a keyed pseudorandom tag is a brute-force oblivious shuffle:
+//! the comparator sequence of the network depends only on `N`, never on the
+//! data, so an observer of memory accesses learns nothing about the resulting
+//! permutation. The price is the `O((log₂ N/b)²)` passes over the data that
+//! the paper's Table-free comparison calls out (49× the dataset at 10 million
+//! records, 100× at 100 million).
+//!
+//! Two things live here:
+//!
+//! * [`BatcherShuffle`] — a real, runnable implementation (item-level
+//!   network) with enclave accounting, used by tests and small-scale
+//!   benchmarks.
+//! * [`BatcherCostModel`] — the analytic cost at paper scale, using the
+//!   bucketed variant the paper describes (buckets of `b` records such that
+//!   two buckets fit in private memory).
+
+use rand::Rng;
+
+use prochlo_crypto::sha256::sha256_concat;
+use prochlo_sgx::Enclave;
+
+use crate::cost::{CostReport, ShuffleCostModel};
+use crate::error::ShuffleError;
+use crate::{uniform_record_len, Records};
+
+/// A real Batcher-network shuffle bound to an enclave for accounting.
+#[derive(Debug, Clone)]
+pub struct BatcherShuffle {
+    enclave: Enclave,
+}
+
+impl BatcherShuffle {
+    /// Creates a shuffler that accounts against the given enclave.
+    pub fn new(enclave: Enclave) -> Self {
+        Self { enclave }
+    }
+
+    /// Shuffles the records by obliviously sorting them under a random tag.
+    pub fn shuffle<R: Rng + ?Sized>(
+        &self,
+        input: &[Vec<u8>],
+        rng: &mut R,
+    ) -> Result<Records, ShuffleError> {
+        let record_len = uniform_record_len(input)?;
+        let n = input.len();
+        if n <= 1 {
+            return Ok(input.to_vec());
+        }
+
+        // A fresh random seed keys the per-record tags; an observer who sees
+        // only comparator indices learns nothing about the final order.
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+
+        // Tag each record. Tags are the sort keys; the record index breaks
+        // the (negligible-probability) ties deterministically.
+        self.enclave
+            .copy_in("batcher-read-input", 0, n * record_len);
+        let mut tagged: Vec<([u8; 32], Vec<u8>)> = input
+            .iter()
+            .enumerate()
+            .map(|(i, record)| {
+                let tag = sha256_concat(&[&seed, &(i as u64).to_le_bytes()]);
+                (tag, record.clone())
+            })
+            .collect();
+
+        // The data-independent comparator schedule of the odd-even mergesort
+        // network (valid for arbitrary n; comparators reaching beyond n are
+        // skipped, which corresponds to padding with +infinity keys).
+        let mut comparators = 0u64;
+        let mut p = 1usize;
+        while p < n {
+            let mut k = p;
+            loop {
+                let mut j = k % p;
+                while j + k < n {
+                    for i in 0..k {
+                        let left = i + j;
+                        let right = i + j + k;
+                        if right >= n {
+                            break;
+                        }
+                        if left / (p * 2) == right / (p * 2) {
+                            comparators += 1;
+                            if tagged[left].0 > tagged[right].0 {
+                                tagged.swap(left, right);
+                            }
+                        }
+                    }
+                    j += 2 * k;
+                }
+                if k == 1 {
+                    break;
+                }
+                k /= 2;
+            }
+            p *= 2;
+        }
+        // Each compare-exchange touches two records across the boundary in
+        // the bucketed SGX realization; account for it.
+        self.enclave.copy_in(
+            "batcher-compare-exchanges",
+            0,
+            (comparators as usize).saturating_mul(2 * record_len),
+        );
+        self.enclave
+            .copy_out("batcher-write-output", 0, n * record_len);
+
+        Ok(tagged.into_iter().map(|(_, record)| record).collect())
+    }
+
+    /// The enclave used for accounting.
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+}
+
+/// Analytic cost of the bucketed Batcher sort-shuffle at paper scale.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatcherCostModel;
+
+impl BatcherCostModel {
+    /// Bucket size `b`: two buckets must fit in private memory at once.
+    pub fn bucket_records(record_bytes: usize, private_memory_bytes: usize) -> usize {
+        (private_memory_bytes / (2 * record_bytes)).max(1)
+    }
+}
+
+impl ShuffleCostModel for BatcherCostModel {
+    fn name(&self) -> &'static str {
+        "Batcher sort"
+    }
+
+    fn cost(
+        &self,
+        records: usize,
+        record_bytes: usize,
+        private_memory_bytes: usize,
+    ) -> CostReport {
+        let b = Self::bucket_records(record_bytes, private_memory_bytes);
+        if records == 0 {
+            return CostReport::new(self.name(), 0, record_bytes, 0, None, 0);
+        }
+        // N/2b private sorting operations per round, (ceil log2(N/b))^2 rounds,
+        // each operation touching 2b records.
+        let buckets = records.div_ceil(b).max(1);
+        let rounds = {
+            let log = (buckets as f64).log2().ceil() as usize;
+            log * log
+        };
+        let ops_per_round = records.div_ceil(2 * b) as u128;
+        let bytes_processed =
+            ops_per_round * (rounds as u128) * (2 * b) as u128 * record_bytes as u128;
+        CostReport::new(
+            self.name(),
+            records,
+            record_bytes,
+            bytes_processed,
+            None,
+            rounds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prochlo_sgx::EnclaveConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn records(n: usize) -> Records {
+        (0..n).map(|i| (i as u64).to_le_bytes().to_vec()).collect()
+    }
+
+    fn shuffler() -> BatcherShuffle {
+        BatcherShuffle::new(Enclave::new(EnclaveConfig {
+            record_trace: true,
+            ..EnclaveConfig::default()
+        }))
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_for_various_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [0usize, 1, 2, 3, 7, 64, 100, 255, 1024, 1000] {
+            let input = records(n);
+            let out = shuffler().shuffle(&input, &mut rng).unwrap();
+            assert_eq!(out.len(), n);
+            let a: HashSet<_> = input.into_iter().collect();
+            let b: HashSet<_> = out.into_iter().collect();
+            assert_eq!(a, b, "size {n}");
+        }
+    }
+
+    #[test]
+    fn shuffle_changes_order() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let input = records(500);
+        let out = shuffler().shuffle(&input, &mut rng).unwrap();
+        assert_ne!(out, input);
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let input = records(200);
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        let a = shuffler().shuffle(&input, &mut rng_a).unwrap();
+        let b = shuffler().shuffle(&input, &mut rng_b).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn non_uniform_records_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let input = vec![vec![1u8; 4], vec![2u8; 5]];
+        assert_eq!(
+            shuffler().shuffle(&input, &mut rng),
+            Err(ShuffleError::NonUniformRecords)
+        );
+    }
+
+    #[test]
+    fn access_trace_is_data_independent() {
+        let n = 300;
+        let a = records(n);
+        let b: Records = (0..n)
+            .map(|i| ((i * 31 + 5) as u64).to_le_bytes().to_vec())
+            .collect();
+        let run = |input: &Records| {
+            let s = shuffler();
+            let mut rng = StdRng::seed_from_u64(99);
+            let _ = s.shuffle(input, &mut rng).unwrap();
+            s.enclave().trace()
+        };
+        assert_eq!(run(&a), run(&b));
+    }
+
+    #[test]
+    fn cost_model_matches_paper_overheads() {
+        let model = BatcherCostModel;
+        let epc = prochlo_sgx::DEFAULT_EPC_BYTES;
+        // 10M 318-byte records: the paper reports 49x.
+        let r10 = model.cost(10_000_000, 318, epc);
+        assert!((r10.overhead_factor - 49.0).abs() < 1.0, "{}", r10.overhead_factor);
+        // 100M records: the paper reports 100x.
+        let r100 = model.cost(100_000_000, 318, epc);
+        assert!((r100.overhead_factor - 100.0).abs() < 1.0, "{}", r100.overhead_factor);
+        assert!(r10.feasible && r100.feasible);
+    }
+
+    #[test]
+    fn cost_model_bucket_size_matches_paper() {
+        // "With SGX, b can be at most 152 thousand 318-byte records."
+        let b = BatcherCostModel::bucket_records(318, prochlo_sgx::DEFAULT_EPC_BYTES);
+        assert!((150_000..155_000).contains(&b), "bucket {b}");
+    }
+
+    #[test]
+    fn cost_model_zero_records() {
+        let r = BatcherCostModel.cost(0, 318, prochlo_sgx::DEFAULT_EPC_BYTES);
+        assert_eq!(r.bytes_processed, 0);
+    }
+}

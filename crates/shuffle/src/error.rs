@@ -1,0 +1,88 @@
+//! Error type for the oblivious shufflers.
+
+use prochlo_sgx::EnclaveError;
+
+/// Errors surfaced by the shuffling algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShuffleError {
+    /// Records passed to a shuffler did not all have the same length, which
+    /// would make dummy records distinguishable.
+    NonUniformRecords,
+    /// The enclave's private memory budget was exceeded.
+    Enclave(EnclaveError),
+    /// The Stash Shuffle's stash overflowed (or failed to drain) in every
+    /// attempt; the parameters are too tight for this input size.
+    StashOverflow {
+        /// Number of attempts made before giving up.
+        attempts: usize,
+    },
+    /// The compression-phase window could not supply enough real items for an
+    /// output bucket; the window parameter is too small.
+    WindowUnderflow,
+    /// The problem size exceeds what the algorithm can handle inside the
+    /// given private memory (ColumnSort and Melbourne Shuffle have hard
+    /// limits).
+    ProblemTooLarge {
+        /// Requested number of records.
+        requested: usize,
+        /// Maximum the algorithm supports with this enclave configuration.
+        maximum: usize,
+    },
+    /// An ingress transform (outer-layer decryption) failed for a record.
+    IngressFailed(&'static str),
+    /// Parameters are internally inconsistent (e.g. zero buckets).
+    InvalidParameters(&'static str),
+}
+
+impl std::fmt::Display for ShuffleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShuffleError::NonUniformRecords => write!(f, "records must all have the same length"),
+            ShuffleError::Enclave(e) => write!(f, "enclave error: {e}"),
+            ShuffleError::StashOverflow { attempts } => {
+                write!(f, "stash overflowed in all {attempts} attempts")
+            }
+            ShuffleError::WindowUnderflow => {
+                write!(f, "compression window underflow (window too small)")
+            }
+            ShuffleError::ProblemTooLarge { requested, maximum } => write!(
+                f,
+                "problem too large: {requested} records, algorithm supports at most {maximum}"
+            ),
+            ShuffleError::IngressFailed(what) => write!(f, "ingress transform failed: {what}"),
+            ShuffleError::InvalidParameters(what) => write!(f, "invalid parameters: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ShuffleError {}
+
+impl From<EnclaveError> for ShuffleError {
+    fn from(e: EnclaveError) -> Self {
+        ShuffleError::Enclave(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings_are_informative() {
+        assert!(ShuffleError::NonUniformRecords.to_string().contains("same length"));
+        assert!(ShuffleError::StashOverflow { attempts: 3 }
+            .to_string()
+            .contains('3'));
+        let e = ShuffleError::ProblemTooLarge {
+            requested: 100,
+            maximum: 10,
+        };
+        assert!(e.to_string().contains("100") && e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn enclave_errors_convert() {
+        let e: ShuffleError = EnclaveError::ReleaseUnderflow.into();
+        assert!(matches!(e, ShuffleError::Enclave(_)));
+    }
+}

@@ -1,0 +1,59 @@
+//! Oblivious shuffling for Prochlo.
+//!
+//! The ESA shuffler must output its batch in an order that an observer of the
+//! (SGX-protected) shuffling machine cannot link back to arrival order, even
+//! though almost all data lives outside the enclave's small private memory.
+//! This crate contains:
+//!
+//! * [`stash`] — the **Stash Shuffle** (§4.1.4, Algorithms 1–4 of the paper):
+//!   a two-phase oblivious shuffle whose intermediate state fits SGX private
+//!   memory and whose total data processed is only ≈3.3–3.7× the input.
+//! * [`stash::params`] — parameter selection, the overhead formula
+//!   `(N + B²C + S)/N`, and an analytic estimate of the security parameter ε
+//!   (Table 1).
+//! * [`batcher`] — an oblivious sort-based shuffle built from Batcher's
+//!   odd-even merge network (the first baseline of §4.1.3), usable as a real
+//!   shuffler and as a cost model at paper scale.
+//! * [`melbourne`] — the Melbourne Shuffle baseline, which needs the whole
+//!   permutation in private memory.
+//! * [`cascade`] — cascade mix networks (M2R-style), needing many rounds for
+//!   a cryptographically meaningful ε.
+//! * [`columnsort`] — ColumnSort's cost model and problem-size bound (the
+//!   Opaque baseline); 8 passes but a hard maximum problem size.
+//! * [`cost`] — the shared cost-report type used by the §4.1.3 comparison
+//!   benchmark.
+//!
+//! All real shuffler implementations run against a [`prochlo_sgx::Enclave`]
+//! so that private-memory budgets are enforced and boundary traffic / access
+//! traces can be asserted in tests.
+
+pub mod batcher;
+pub mod cascade;
+pub mod columnsort;
+pub mod cost;
+pub mod error;
+pub mod melbourne;
+pub mod stash;
+
+pub use cost::{CostReport, ShuffleCostModel};
+pub use error::ShuffleError;
+pub use stash::{StashShuffle, StashShuffleOutput, StashShuffleParams};
+
+/// The record size the paper uses throughout its evaluation: 64 bytes of
+/// payload plus an 8-byte crowd ID, doubly encrypted to 318 bytes.
+pub const PAPER_RECORD_BYTES: usize = 318;
+
+/// A batch of equal-length opaque records to be shuffled.
+pub type Records = Vec<Vec<u8>>;
+
+/// Checks that all records have the same length and returns it.
+pub fn uniform_record_len(records: &[Vec<u8>]) -> Result<usize, ShuffleError> {
+    let Some(first) = records.first() else {
+        return Ok(0);
+    };
+    let len = first.len();
+    if records.iter().any(|r| r.len() != len) {
+        return Err(ShuffleError::NonUniformRecords);
+    }
+    Ok(len)
+}

@@ -1,0 +1,283 @@
+//! The Melbourne Shuffle baseline (§4.1.3).
+//!
+//! The Melbourne Shuffle picks the target permutation up front and then
+//! obliviously rearranges the data towards it in two passes (distribution
+//! with per-bucket caps and dummy padding, then clean-up). It avoids full
+//! sorting, so its overhead is a small constant, but it must hold the *entire
+//! permutation* in private memory — which is exactly why the paper rules it
+//! out for SGX at Prochlo's scale ("only a few dozen million items, at most").
+//!
+//! [`MelbourneShuffle`] is a runnable implementation with enclave accounting
+//! (including the permutation-storage charge that limits scalability);
+//! [`MelbourneCostModel`] reports the analytic cost and the maximum feasible
+//! problem size for the comparison benchmark.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use prochlo_sgx::Enclave;
+
+use crate::cost::{CostReport, ShuffleCostModel};
+use crate::error::ShuffleError;
+use crate::{uniform_record_len, Records};
+
+/// Bytes of private memory needed per record just to store the permutation.
+pub const PERMUTATION_BYTES_PER_RECORD: usize = 8;
+
+/// A runnable Melbourne Shuffle.
+#[derive(Debug, Clone)]
+pub struct MelbourneShuffle {
+    enclave: Enclave,
+    max_attempts: usize,
+}
+
+impl MelbourneShuffle {
+    /// Creates a shuffler bound to the given enclave.
+    pub fn new(enclave: Enclave) -> Self {
+        Self {
+            enclave,
+            max_attempts: 10,
+        }
+    }
+
+    /// The enclave used for accounting.
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// Shuffles the records.
+    pub fn shuffle<R: Rng + ?Sized>(
+        &self,
+        input: &[Vec<u8>],
+        rng: &mut R,
+    ) -> Result<Records, ShuffleError> {
+        let record_len = uniform_record_len(input)?;
+        let n = input.len();
+        if n <= 1 {
+            return Ok(input.to_vec());
+        }
+
+        // The defining constraint: the whole permutation must fit in private
+        // memory for the duration of the shuffle.
+        let permutation_bytes = n * PERMUTATION_BYTES_PER_RECORD;
+        let max = self.enclave.config().private_memory_bytes / PERMUTATION_BYTES_PER_RECORD;
+        if permutation_bytes > self.enclave.config().private_memory_bytes {
+            return Err(ShuffleError::ProblemTooLarge {
+                requested: n,
+                maximum: max,
+            });
+        }
+
+        let bucket_count = (n as f64).sqrt().ceil() as usize;
+        let bucket_size = n.div_ceil(bucket_count);
+        // Per (input bucket, output bucket) slot cap, with padding to hide
+        // the actual counts; ~log n keeps the failure probability negligible.
+        let cap = ((n.max(2) as f64).ln().ceil() as usize + 2).max(3);
+
+        for attempt in 1..=self.max_attempts {
+            self.enclave.charge_private(permutation_bytes)?;
+            let result = self.attempt(input, record_len, bucket_count, bucket_size, cap, rng);
+            self.enclave
+                .release_private(permutation_bytes)
+                .expect("balanced release");
+            match result {
+                Some(output) => return Ok(output),
+                None if attempt == self.max_attempts => {
+                    return Err(ShuffleError::StashOverflow {
+                        attempts: self.max_attempts,
+                    })
+                }
+                None => continue,
+            }
+        }
+        unreachable!("loop either returns or errors on the last attempt")
+    }
+
+    /// One attempt; `None` means a bucket-pair cap overflowed and the caller
+    /// should retry with a fresh permutation.
+    fn attempt<R: Rng + ?Sized>(
+        &self,
+        input: &[Vec<u8>],
+        record_len: usize,
+        bucket_count: usize,
+        bucket_size: usize,
+        cap: usize,
+        rng: &mut R,
+    ) -> Option<Records> {
+        let n = input.len();
+        // The target permutation: position[i] is where input record i ends up.
+        let mut position: Vec<usize> = (0..n).collect();
+        position.shuffle(rng);
+
+        // Phase 1: distribution. Intermediate array indexed
+        // [output bucket][input bucket * cap + slot]; None is a dummy.
+        let mut intermediate: Vec<Vec<Option<(usize, Vec<u8>)>>> =
+            vec![Vec::with_capacity(bucket_count * cap); bucket_count];
+
+        for in_bucket in 0..bucket_count {
+            let start = in_bucket * bucket_size;
+            let end = ((in_bucket + 1) * bucket_size).min(n);
+            if start >= end {
+                // Keep the access pattern shape: write dummy chunks anyway.
+                for (out_bucket, slots) in intermediate.iter_mut().enumerate() {
+                    slots.extend(std::iter::repeat_with(|| None).take(cap));
+                    self.enclave.copy_out(
+                        "melbourne-write-chunk",
+                        out_bucket,
+                        cap * record_len,
+                    );
+                }
+                continue;
+            }
+            self.enclave
+                .copy_in("melbourne-read-bucket", in_bucket, (end - start) * record_len);
+
+            // Group this bucket's records by their destination bucket.
+            let mut per_out: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); bucket_count];
+            for i in start..end {
+                let dest = position[i];
+                let out_bucket = dest / bucket_size;
+                per_out[out_bucket].push((dest, input[i].clone()));
+            }
+            for (out_bucket, mut items) in per_out.into_iter().enumerate() {
+                if items.len() > cap {
+                    return None; // Overflow: retry with a fresh permutation.
+                }
+                let mut slots: Vec<Option<(usize, Vec<u8>)>> =
+                    items.drain(..).map(Some).collect();
+                slots.resize_with(cap, || None);
+                intermediate[out_bucket].extend(slots);
+                self.enclave
+                    .copy_out("melbourne-write-chunk", out_bucket, cap * record_len);
+            }
+        }
+
+        // Phase 2: clean-up. Read each output bucket, drop dummies, order by
+        // destination position.
+        let mut output: Vec<Option<Vec<u8>>> = vec![None; n];
+        for (out_bucket, slots) in intermediate.into_iter().enumerate() {
+            self.enclave.copy_in(
+                "melbourne-read-intermediate",
+                out_bucket,
+                slots.len() * record_len,
+            );
+            let mut real: Vec<(usize, Vec<u8>)> = slots.into_iter().flatten().collect();
+            real.sort_by_key(|(dest, _)| *dest);
+            let bytes = real.len() * record_len;
+            for (dest, record) in real {
+                output[dest] = Some(record);
+            }
+            self.enclave
+                .copy_out("melbourne-write-output", out_bucket, bytes);
+        }
+        Some(output.into_iter().map(|r| r.expect("every slot filled")).collect())
+    }
+}
+
+/// Analytic cost of the Melbourne Shuffle at paper scale.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MelbourneCostModel;
+
+impl ShuffleCostModel for MelbourneCostModel {
+    fn name(&self) -> &'static str {
+        "Melbourne Shuffle"
+    }
+
+    fn cost(
+        &self,
+        records: usize,
+        record_bytes: usize,
+        private_memory_bytes: usize,
+    ) -> CostReport {
+        // Four embarrassingly parallel rounds (paper §4.1.4 discussion), each
+        // touching the whole dataset once.
+        let rounds = 4usize;
+        let bytes = (records as u128) * (record_bytes as u128) * rounds as u128;
+        let max_records = private_memory_bytes / PERMUTATION_BYTES_PER_RECORD;
+        CostReport::new(
+            self.name(),
+            records,
+            record_bytes,
+            bytes,
+            Some(max_records),
+            rounds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prochlo_sgx::EnclaveConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn records(n: usize) -> Records {
+        (0..n).map(|i| (i as u64).to_le_bytes().to_vec()).collect()
+    }
+
+    fn shuffler(private_bytes: usize) -> MelbourneShuffle {
+        MelbourneShuffle::new(Enclave::new(EnclaveConfig {
+            private_memory_bytes: private_bytes,
+            record_trace: false,
+            code_identity: "melbourne-test".into(),
+        }))
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [0usize, 1, 2, 10, 100, 1000] {
+            let input = records(n);
+            let out = shuffler(1 << 20).shuffle(&input, &mut rng).unwrap();
+            assert_eq!(out.len(), n);
+            let a: HashSet<_> = input.into_iter().collect();
+            let b: HashSet<_> = out.into_iter().collect();
+            assert_eq!(a, b, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn shuffle_changes_order() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let input = records(800);
+        let out = shuffler(1 << 20).shuffle(&input, &mut rng).unwrap();
+        assert_ne!(out, input);
+    }
+
+    #[test]
+    fn permutation_memory_limit_is_enforced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let input = records(1000); // needs 8000 bytes of private memory
+        let result = shuffler(4_000).shuffle(&input, &mut rng);
+        assert!(matches!(
+            result,
+            Err(ShuffleError::ProblemTooLarge { requested: 1000, maximum: 500 })
+        ));
+    }
+
+    #[test]
+    fn cost_model_matches_paper_narrative() {
+        let model = MelbourneCostModel;
+        let epc = prochlo_sgx::DEFAULT_EPC_BYTES;
+        let report = model.cost(10_000_000, 318, epc);
+        assert_eq!(report.rounds, 4);
+        assert!((report.overhead_factor - 4.0).abs() < 1e-9);
+        // "only a few dozen million items, at most": ~12M with 8-byte indices.
+        let max = report.max_records.unwrap();
+        assert!((10_000_000..30_000_000).contains(&max), "max {max}");
+        assert!(report.feasible);
+        assert!(!model.cost(100_000_000, 318, epc).feasible);
+    }
+
+    #[test]
+    fn non_uniform_records_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = vec![vec![1u8; 3], vec![1u8; 4]];
+        assert_eq!(
+            shuffler(1 << 20).shuffle(&input, &mut rng),
+            Err(ShuffleError::NonUniformRecords)
+        );
+    }
+}

@@ -1,0 +1,800 @@
+//! The Stash Shuffle (§4.1.4, Algorithms 1–4 of the paper).
+//!
+//! The algorithm shuffles `N` equal-sized records using only a small amount
+//! of private (enclave) memory, in two phases:
+//!
+//! * **Distribution** — the input is processed one bucket of `D = ⌈N/B⌉`
+//!   records at a time. Each record is assigned a random output bucket; at
+//!   most `C` records per (input, output) bucket pair are written out
+//!   immediately (re-encrypted under an ephemeral key, padded with dummies up
+//!   to exactly `C` so the host learns nothing from chunk sizes), and any
+//!   overflow waits in a private *stash*, draining opportunistically into
+//!   later chunks. A final drain writes `K = ⌈S/B⌉` more slots per output
+//!   bucket.
+//! * **Compression** — intermediate buckets are imported one at a time into a
+//!   sliding window of `W` buckets, dummies are discarded, real records are
+//!   shuffled within the window, and exactly `D` records are emitted per
+//!   output bucket.
+//!
+//! Failures (stash overflow, failure to drain, window underflow) abort the
+//! attempt and the shuffle restarts with fresh randomness, exactly as in the
+//! paper; intermediate data is useless to an observer because each attempt
+//! uses a fresh ephemeral key.
+//!
+//! The implementation performs the real cryptography (the caller supplies the
+//! ingress transform that removes the outer encryption layer; intermediate
+//! slots are sealed with an AEAD under an ephemeral key) and charges every
+//! boundary crossing and private-memory allocation to a
+//! [`prochlo_sgx::Enclave`], so tests can assert both the memory budget and
+//! the obliviousness of the access trace.
+
+pub mod params;
+
+use std::collections::VecDeque;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use prochlo_crypto::aead::{self, AeadKey};
+use prochlo_sgx::{Enclave, EnclaveMetrics};
+
+use crate::error::ShuffleError;
+use crate::{uniform_record_len, Records};
+
+pub use params::{StashShuffleParams, Table1Scenario};
+
+/// Result of a successful Stash Shuffle run.
+#[derive(Debug, Clone)]
+pub struct StashShuffleOutput {
+    /// The shuffled records (inner layer only, as produced by the ingress
+    /// transform).
+    pub records: Records,
+    /// Enclave accounting accumulated over all attempts.
+    pub metrics: EnclaveMetrics,
+    /// Number of attempts made (1 = no restart was needed).
+    pub attempts: usize,
+    /// Number of intermediate slots written during distribution (per
+    /// attempt), i.e. `B·(B·C + K)`.
+    pub intermediate_slots: usize,
+}
+
+/// The ingress transform applied to each record as it first enters the
+/// enclave: in the full ESA deployment this removes the outer layer of nested
+/// encryption (a public-key operation); benchmarks that measure the shuffle
+/// alone can pass [`identity_ingress`].
+pub type IngressFn<'a> = dyn Fn(&[u8]) -> Result<Vec<u8>, ShuffleError> + 'a;
+
+/// An ingress transform that passes records through unchanged.
+pub fn identity_ingress(record: &[u8]) -> Result<Vec<u8>, ShuffleError> {
+    Ok(record.to_vec())
+}
+
+/// A configured Stash Shuffle instance bound to an enclave.
+#[derive(Debug, Clone)]
+pub struct StashShuffle {
+    params: StashShuffleParams,
+    enclave: Enclave,
+    max_attempts: usize,
+}
+
+/// Internal marker for a failed attempt (restart with fresh randomness).
+enum AttemptFailure {
+    StashOverflow,
+    WindowUnderflow,
+    Fatal(ShuffleError),
+}
+
+impl StashShuffle {
+    /// Creates a shuffler with explicit parameters.
+    pub fn new(params: StashShuffleParams, enclave: Enclave) -> Self {
+        Self {
+            params,
+            enclave,
+            max_attempts: 10,
+        }
+    }
+
+    /// Creates a shuffler with parameters derived for the given input size
+    /// and a default enclave.
+    pub fn for_size(records: usize) -> Self {
+        Self::new(
+            StashShuffleParams::derive(records),
+            Enclave::with_default_config(),
+        )
+    }
+
+    /// Overrides the maximum number of restart attempts.
+    pub fn with_max_attempts(mut self, attempts: usize) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &StashShuffleParams {
+        &self.params
+    }
+
+    /// The enclave used for accounting.
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// Shuffles records that need no ingress transform.
+    pub fn shuffle<R: Rng + ?Sized>(
+        &self,
+        input: &[Vec<u8>],
+        rng: &mut R,
+    ) -> Result<StashShuffleOutput, ShuffleError> {
+        self.shuffle_with_ingress(input, &identity_ingress, rng)
+    }
+
+    /// Shuffles records, applying `ingress` to each record inside the enclave
+    /// (the outer-decryption step of the ESA pipeline).
+    pub fn shuffle_with_ingress<R: Rng + ?Sized>(
+        &self,
+        input: &[Vec<u8>],
+        ingress: &IngressFn<'_>,
+        rng: &mut R,
+    ) -> Result<StashShuffleOutput, ShuffleError> {
+        uniform_record_len(input)?;
+        if input.is_empty() {
+            return Ok(StashShuffleOutput {
+                records: Vec::new(),
+                metrics: self.enclave.metrics(),
+                attempts: 1,
+                intermediate_slots: 0,
+            });
+        }
+
+        for attempt in 1..=self.max_attempts {
+            match self.attempt(input, ingress, rng) {
+                Ok((records, intermediate_slots)) => {
+                    return Ok(StashShuffleOutput {
+                        records,
+                        metrics: self.enclave.metrics(),
+                        attempts: attempt,
+                        intermediate_slots,
+                    });
+                }
+                Err(AttemptFailure::Fatal(e)) => return Err(e),
+                Err(AttemptFailure::StashOverflow) | Err(AttemptFailure::WindowUnderflow) => {
+                    // Restart with fresh randomness (and a fresh ephemeral
+                    // key, implicitly, on the next attempt).
+                    continue;
+                }
+            }
+        }
+        Err(ShuffleError::StashOverflow {
+            attempts: self.max_attempts,
+        })
+    }
+
+    /// One full attempt: distribution then compression.
+    fn attempt<R: Rng + ?Sized>(
+        &self,
+        input: &[Vec<u8>],
+        ingress: &IngressFn<'_>,
+        rng: &mut R,
+    ) -> Result<(Records, usize), AttemptFailure> {
+        let n = input.len();
+        let b = self.params.num_buckets.min(n).max(1);
+        let d = n.div_ceil(b);
+        let c = self.params.chunk_cap;
+        let s = self.params.stash_capacity;
+        let k = s.div_ceil(b).max(1);
+        let w = self.params.window.min(b).max(1);
+
+        // Ephemeral key protecting the intermediate array; a new key per
+        // attempt means failed attempts leak nothing about the final order.
+        let ephemeral_key = AeadKey::random(rng);
+
+        // Determine the inner record length from the first record.
+        let first_inner = ingress(&input[0]).map_err(AttemptFailure::Fatal)?;
+        let inner_len = first_inner.len();
+        // One flag byte distinguishes real records from dummies after
+        // decryption; sealed slots all have identical length.
+        let slot_plain_len = 1 + inner_len;
+        let sealed_slot_len = slot_plain_len + aead::NONCE_LEN + aead::TAG_LEN;
+
+        // ---------------- Distribution phase ----------------
+        // The intermediate array lives in untrusted memory.
+        let mut mid: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(b * c + k); b];
+        // The stash lives in private memory.
+        let mut stash: Vec<VecDeque<Vec<u8>>> = vec![VecDeque::new(); b];
+        let mut stash_total = 0usize;
+        let mut slot_counter = 0u64;
+
+        let charge = |bytes: usize| -> Result<(), AttemptFailure> {
+            self.enclave
+                .charge_private(bytes)
+                .map_err(|e| AttemptFailure::Fatal(e.into()))
+        };
+        let release = |bytes: usize| {
+            self.enclave
+                .release_private(bytes)
+                .expect("charges and releases are balanced");
+        };
+
+        for bucket_idx in 0..b {
+            let start = bucket_idx * d;
+            let end = ((bucket_idx + 1) * d).min(n);
+            if start >= end {
+                // Still write dummy-only chunks for empty trailing buckets so
+                // the access pattern only depends on N and the parameters.
+                for (out_idx, chunk) in mid.iter_mut().enumerate() {
+                    for _ in 0..c {
+                        chunk.push(seal_slot(
+                            &ephemeral_key,
+                            &mut slot_counter,
+                            None,
+                            inner_len,
+                        ));
+                    }
+                    self.enclave
+                        .copy_out("write-intermediate-chunk", out_idx, c * sealed_slot_len);
+                }
+                continue;
+            }
+            let bucket = &input[start..end];
+
+            // Read the input bucket into private memory.
+            let bucket_bytes: usize = bucket.iter().map(Vec::len).sum();
+            self.enclave
+                .copy_in("read-input-bucket", bucket_idx, bucket_bytes);
+            // Private memory: the decrypted input bucket plus the B output
+            // chunks of C slots each.
+            let working_bytes = d * inner_len + b * c * slot_plain_len;
+            charge(working_bytes)?;
+
+            // Assign a random target bucket to every record using the
+            // "records and separators" shuffle of Algorithm 2 (stars and
+            // bars), then shuffle which record gets which slot.
+            let targets = shuffle_to_buckets(bucket.len(), b, rng);
+
+            // Output chunks under construction (plaintext, in private memory).
+            let mut chunks: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(c); b];
+
+            // Step 1: drain stashed records into chunks with room.
+            for (out_idx, chunk) in chunks.iter_mut().enumerate() {
+                while chunk.len() < c {
+                    match stash[out_idx].pop_front() {
+                        Some(item) => {
+                            release(item.len());
+                            stash_total -= 1;
+                            chunk.push(item);
+                        }
+                        None => break,
+                    }
+                }
+            }
+
+            // Step 2: distribute this bucket's records.
+            for (record, &target) in bucket.iter().zip(targets.iter()) {
+                let inner = match ingress(record) {
+                    Ok(inner) => inner,
+                    Err(e) => {
+                        release(working_bytes);
+                        return Err(AttemptFailure::Fatal(e));
+                    }
+                };
+                if inner.len() != inner_len {
+                    release(working_bytes);
+                    return Err(AttemptFailure::Fatal(ShuffleError::NonUniformRecords));
+                }
+                if chunks[target].len() < c {
+                    chunks[target].push(inner);
+                } else if stash_total < s {
+                    charge(inner.len())?;
+                    stash_total += 1;
+                    stash[target].push_back(inner);
+                } else {
+                    release(working_bytes);
+                    // Release whatever the stash holds before restarting.
+                    release_stash(&self.enclave, &mut stash, &mut stash_total);
+                    return Err(AttemptFailure::StashOverflow);
+                }
+            }
+
+            // Step 3: pad chunks with dummies, seal and write out.
+            for (out_idx, chunk) in chunks.into_iter().enumerate() {
+                let mut written = 0usize;
+                for item in chunk.iter() {
+                    mid[out_idx].push(seal_slot(
+                        &ephemeral_key,
+                        &mut slot_counter,
+                        Some(item),
+                        inner_len,
+                    ));
+                    written += 1;
+                }
+                for _ in written..c {
+                    mid[out_idx].push(seal_slot(
+                        &ephemeral_key,
+                        &mut slot_counter,
+                        None,
+                        inner_len,
+                    ));
+                }
+                self.enclave
+                    .copy_out("write-intermediate-chunk", out_idx, c * sealed_slot_len);
+            }
+            release(working_bytes);
+        }
+
+        // Final stash drain: K slots per output bucket (Algorithm 1, line 5).
+        for out_idx in 0..b {
+            let mut written = 0usize;
+            while written < k {
+                match stash[out_idx].pop_front() {
+                    Some(item) => {
+                        release(item.len());
+                        stash_total -= 1;
+                        mid[out_idx].push(seal_slot(
+                            &ephemeral_key,
+                            &mut slot_counter,
+                            Some(&item),
+                            inner_len,
+                        ));
+                        written += 1;
+                    }
+                    None => break,
+                }
+            }
+            for _ in written..k {
+                mid[out_idx].push(seal_slot(
+                    &ephemeral_key,
+                    &mut slot_counter,
+                    None,
+                    inner_len,
+                ));
+            }
+            self.enclave
+                .copy_out("write-stash-drain", out_idx, k * sealed_slot_len);
+        }
+        if stash_total > 0 {
+            release_stash(&self.enclave, &mut stash, &mut stash_total);
+            return Err(AttemptFailure::StashOverflow);
+        }
+        let intermediate_slots: usize = mid.iter().map(Vec::len).sum();
+
+        // ---------------- Compression phase ----------------
+        let queue_capacity = w * (d + k);
+        let mut queue: VecDeque<Vec<u8>> = VecDeque::with_capacity(queue_capacity);
+        let mut output: Records = Vec::with_capacity(n);
+        let effective_window = w.min(b);
+
+        let import = |bucket_idx: usize,
+                          queue: &mut VecDeque<Vec<u8>>,
+                          rng: &mut R|
+         -> Result<(), AttemptFailure> {
+            let slots = &mid[bucket_idx];
+            self.enclave.copy_in(
+                "read-intermediate-bucket",
+                bucket_idx,
+                slots.len() * sealed_slot_len,
+            );
+            let import_bytes = slots.len() * slot_plain_len;
+            charge(import_bytes)?;
+            // Shuffle the slot order inside private memory before enqueueing
+            // real records (Algorithm 4).
+            let mut order: Vec<usize> = (0..slots.len()).collect();
+            order.shuffle(rng);
+            for &slot_idx in &order {
+                let plain = open_slot(&ephemeral_key, &slots[slot_idx], slot_idx as u64)
+                    .map_err(AttemptFailure::Fatal)?;
+                if let Some(real) = plain {
+                    if queue.len() >= queue_capacity {
+                        release(import_bytes);
+                        return Err(AttemptFailure::WindowUnderflow);
+                    }
+                    charge(real.len())?;
+                    queue.push_back(real);
+                }
+            }
+            release(import_bytes);
+            Ok(())
+        };
+
+        let drain = |bucket_idx: usize,
+                         queue: &mut VecDeque<Vec<u8>>,
+                         output: &mut Records,
+                         allow_partial: bool|
+         -> Result<(), AttemptFailure> {
+            let want = d.min(n - output.len());
+            if queue.len() < want && !allow_partial {
+                return Err(AttemptFailure::WindowUnderflow);
+            }
+            let take = want.min(queue.len());
+            let mut bytes = 0usize;
+            for _ in 0..take {
+                let item = queue.pop_front().expect("queue length checked");
+                release(item.len());
+                bytes += item.len();
+                output.push(item);
+            }
+            self.enclave.copy_out("write-output-bucket", bucket_idx, bytes);
+            Ok(())
+        };
+
+        let result: Result<(), AttemptFailure> = (|| {
+            for bucket_idx in 0..effective_window {
+                import(bucket_idx, &mut queue, rng)?;
+            }
+            for bucket_idx in effective_window..b {
+                drain(bucket_idx - effective_window, &mut queue, &mut output, false)?;
+                import(bucket_idx, &mut queue, rng)?;
+            }
+            for bucket_idx in (b - effective_window)..b {
+                drain(bucket_idx, &mut queue, &mut output, true)?;
+            }
+            Ok(())
+        })();
+
+        // Release anything still queued before returning (success or failure).
+        for item in queue.drain(..) {
+            release(item.len());
+        }
+        result?;
+
+        if output.len() != n {
+            // Should be impossible: every real record was enqueued exactly once.
+            return Err(AttemptFailure::Fatal(ShuffleError::InvalidParameters(
+                "lost records during compression",
+            )));
+        }
+        Ok((output, intermediate_slots))
+    }
+}
+
+/// Releases all private memory still held by the stash after a failed attempt.
+fn release_stash(enclave: &Enclave, stash: &mut [VecDeque<Vec<u8>>], total: &mut usize) {
+    for bucket in stash.iter_mut() {
+        for item in bucket.drain(..) {
+            enclave
+                .release_private(item.len())
+                .expect("stash charges are balanced");
+        }
+    }
+    *total = 0;
+}
+
+/// Algorithm 2's SHUFFLETOBUCKETS: shuffles `items` records and `buckets - 1`
+/// separators, returning the target bucket of each record. Every composition
+/// of the records into buckets is equally likely, and which record lands in
+/// which slot is also uniform.
+fn shuffle_to_buckets<R: Rng + ?Sized>(items: usize, buckets: usize, rng: &mut R) -> Vec<usize> {
+    if buckets <= 1 {
+        return vec![0; items];
+    }
+    // true = record, false = separator.
+    let mut symbols: Vec<bool> = Vec::with_capacity(items + buckets - 1);
+    symbols.extend(std::iter::repeat(true).take(items));
+    symbols.extend(std::iter::repeat(false).take(buckets - 1));
+    symbols.shuffle(rng);
+    let mut targets_in_order = Vec::with_capacity(items);
+    let mut current_bucket = 0usize;
+    for symbol in symbols {
+        if symbol {
+            targets_in_order.push(current_bucket);
+        } else {
+            current_bucket += 1;
+        }
+    }
+    // Randomize which record gets which target.
+    targets_in_order.shuffle(rng);
+    targets_in_order
+}
+
+/// Seals one intermediate slot (real record or dummy) with the ephemeral key.
+fn seal_slot(
+    key: &AeadKey,
+    slot_counter: &mut u64,
+    record: Option<&[u8]>,
+    inner_len: usize,
+) -> Vec<u8> {
+    let index = *slot_counter;
+    *slot_counter += 1;
+    let mut plain = Vec::with_capacity(1 + inner_len);
+    match record {
+        Some(bytes) => {
+            plain.push(1);
+            plain.extend_from_slice(bytes);
+        }
+        None => {
+            plain.push(0);
+            plain.extend_from_slice(&vec![0u8; inner_len]);
+        }
+    }
+    let nonce = slot_nonce(index);
+    let mut sealed = Vec::with_capacity(aead::NONCE_LEN + plain.len() + aead::TAG_LEN);
+    sealed.extend_from_slice(&nonce);
+    sealed.extend_from_slice(&aead::seal(key, &nonce, b"stash-slot", &plain));
+    sealed
+}
+
+/// Opens one intermediate slot; returns `None` for dummies.
+fn open_slot(
+    key: &AeadKey,
+    sealed: &[u8],
+    _slot_hint: u64,
+) -> Result<Option<Vec<u8>>, ShuffleError> {
+    if sealed.len() < aead::NONCE_LEN + aead::TAG_LEN + 1 {
+        return Err(ShuffleError::IngressFailed("intermediate slot too short"));
+    }
+    let mut nonce = [0u8; aead::NONCE_LEN];
+    nonce.copy_from_slice(&sealed[..aead::NONCE_LEN]);
+    let plain = aead::open(key, &nonce, b"stash-slot", &sealed[aead::NONCE_LEN..])
+        .map_err(|_| ShuffleError::IngressFailed("intermediate slot authentication"))?;
+    if plain.is_empty() {
+        return Err(ShuffleError::IngressFailed("empty intermediate slot"));
+    }
+    if plain[0] == 1 {
+        Ok(Some(plain[1..].to_vec()))
+    } else {
+        Ok(None)
+    }
+}
+
+fn slot_nonce(index: u64) -> [u8; aead::NONCE_LEN] {
+    let mut nonce = [0u8; aead::NONCE_LEN];
+    nonce[..8].copy_from_slice(&index.to_le_bytes());
+    nonce[8..].copy_from_slice(b"slot");
+    nonce
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prochlo_sgx::EnclaveConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn records(n: usize, len: usize) -> Records {
+        (0..n)
+            .map(|i| {
+                let mut r = vec![0u8; len];
+                r[..8].copy_from_slice(&(i as u64).to_le_bytes());
+                r
+            })
+            .collect()
+    }
+
+    fn test_shuffler(n: usize) -> StashShuffle {
+        let params = StashShuffleParams::derive(n);
+        let enclave = Enclave::new(EnclaveConfig {
+            private_memory_bytes: 8 * 1024 * 1024,
+            record_trace: true,
+            code_identity: "test-stash".into(),
+        });
+        StashShuffle::new(params, enclave)
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let input = records(2_000, 32);
+        let out = test_shuffler(input.len()).shuffle(&input, &mut rng).unwrap();
+        assert_eq!(out.records.len(), input.len());
+        let in_set: HashSet<_> = input.iter().cloned().collect();
+        let out_set: HashSet<_> = out.records.iter().cloned().collect();
+        assert_eq!(in_set, out_set);
+    }
+
+    #[test]
+    fn shuffle_changes_order() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let input = records(1_000, 16);
+        let out = test_shuffler(input.len()).shuffle(&input, &mut rng).unwrap();
+        assert_ne!(out.records, input, "order should change with overwhelming probability");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = test_shuffler(16).shuffle(&[], &mut rng).unwrap();
+        assert!(out.records.is_empty());
+
+        let input = records(1, 8);
+        let out = test_shuffler(1).shuffle(&input, &mut rng).unwrap();
+        assert_eq!(out.records, input);
+
+        let input = records(7, 8);
+        let out = test_shuffler(7).shuffle(&input, &mut rng).unwrap();
+        assert_eq!(out.records.len(), 7);
+    }
+
+    #[test]
+    fn non_uniform_records_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut input = records(10, 16);
+        input[3] = vec![0u8; 7];
+        assert!(matches!(
+            test_shuffler(10).shuffle(&input, &mut rng),
+            Err(ShuffleError::NonUniformRecords)
+        ));
+    }
+
+    #[test]
+    fn ingress_transform_is_applied() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let input = records(500, 16);
+        let shuffler = test_shuffler(input.len());
+        let out = shuffler
+            .shuffle_with_ingress(
+                &input,
+                &|r| Ok(r[..8].to_vec()), // strip the "outer layer" (here: truncate)
+                &mut rng,
+            )
+            .unwrap();
+        assert!(out.records.iter().all(|r| r.len() == 8));
+        let expected: HashSet<Vec<u8>> = input.iter().map(|r| r[..8].to_vec()).collect();
+        let got: HashSet<Vec<u8>> = out.records.iter().cloned().collect();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn ingress_failure_is_fatal_not_retried() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let input = records(100, 16);
+        let shuffler = test_shuffler(input.len());
+        let result = shuffler.shuffle_with_ingress(
+            &input,
+            &|_| Err(ShuffleError::IngressFailed("bad outer layer")),
+            &mut rng,
+        );
+        assert!(matches!(
+            result,
+            Err(ShuffleError::IngressFailed("bad outer layer"))
+        ));
+    }
+
+    #[test]
+    fn intermediate_slot_count_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 1_100;
+        let params = StashShuffleParams::new(10, 20, 400, 3).unwrap();
+        let enclave = Enclave::new(EnclaveConfig {
+            private_memory_bytes: 4 * 1024 * 1024,
+            record_trace: false,
+            code_identity: "t".into(),
+        });
+        let shuffler = StashShuffle::new(params, enclave);
+        let input = records(n, 24);
+        let out = shuffler.shuffle(&input, &mut rng).unwrap();
+        // B·(B·C + K) with B=10, C=16, K=10.
+        // B·(B·C + K) with B = 10, C = 20, K = 40.
+        assert_eq!(out.intermediate_slots, 10 * (10 * 20 + 40));
+        // Overhead factor from the params must agree with the slot count.
+        let expected_overhead = 1.0 + out.intermediate_slots as f64 / n as f64;
+        assert!((params.overhead_factor(n) - expected_overhead).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_parameters_cause_stash_overflow() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // C below the mean load and no stash: the shuffle cannot succeed.
+        let params = StashShuffleParams::new(10, 1, 0, 2).unwrap();
+        let enclave = Enclave::new(EnclaveConfig {
+            private_memory_bytes: 4 * 1024 * 1024,
+            record_trace: false,
+            code_identity: "t".into(),
+        });
+        let shuffler = StashShuffle::new(params, enclave).with_max_attempts(3);
+        let input = records(1_000, 16);
+        assert!(matches!(
+            shuffler.shuffle(&input, &mut rng),
+            Err(ShuffleError::StashOverflow { attempts: 3 })
+        ));
+    }
+
+    #[test]
+    fn enclave_budget_is_enforced() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let params = StashShuffleParams::derive(5_000);
+        let enclave = Enclave::new(EnclaveConfig {
+            private_memory_bytes: 10 * 1024, // 10 KB: far too small
+            record_trace: false,
+            code_identity: "t".into(),
+        });
+        let shuffler = StashShuffle::new(params, enclave);
+        let input = records(5_000, 64);
+        assert!(matches!(
+            shuffler.shuffle(&input, &mut rng),
+            Err(ShuffleError::Enclave(_))
+        ));
+    }
+
+    #[test]
+    fn private_memory_is_fully_released() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let shuffler = test_shuffler(3_000);
+        let input = records(3_000, 32);
+        let out = shuffler.shuffle(&input, &mut rng).unwrap();
+        assert_eq!(out.metrics.private_in_use, 0);
+        assert!(out.metrics.private_peak > 0);
+        assert!(out.metrics.private_peak <= 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn access_trace_is_data_independent() {
+        // Two completely different datasets of the same size and record
+        // length must produce identical access traces when the shuffler uses
+        // the same randomness: the host learns nothing about the data.
+        let n = 1_500;
+        let a = records(n, 24);
+        let b: Records = (0..n)
+            .map(|i| {
+                let mut r = vec![0xabu8; 24];
+                r[..8].copy_from_slice(&((i * 7 + 3) as u64).to_le_bytes());
+                r
+            })
+            .collect();
+
+        let run = |input: &Records| {
+            let params = StashShuffleParams::derive(n);
+            let enclave = Enclave::new(EnclaveConfig {
+                private_memory_bytes: 8 * 1024 * 1024,
+                record_trace: true,
+                code_identity: "trace-test".into(),
+            });
+            let shuffler = StashShuffle::new(params, enclave);
+            let mut rng = StdRng::seed_from_u64(42);
+            let _ = shuffler.shuffle(input, &mut rng).unwrap();
+            shuffler.enclave().trace()
+        };
+
+        assert_eq!(run(&a), run(&b));
+    }
+
+    #[test]
+    fn boundary_traffic_reflects_overhead_factor() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 4_000;
+        let shuffler = test_shuffler(n);
+        let input = records(n, 64);
+        let out = shuffler.shuffle(&input, &mut rng).unwrap();
+        // Bytes entering the enclave: the input once plus every intermediate
+        // slot once (sealed size). The ratio to the input size should be in
+        // the same ballpark as the analytic overhead factor.
+        let input_bytes = (n * 64) as f64;
+        let ratio = out.metrics.bytes_in as f64 / input_bytes;
+        let analytic = shuffler.params().overhead_factor(n);
+        assert!(
+            ratio > 0.8 * analytic && ratio < 2.0 * analytic,
+            "measured ratio {ratio:.2} vs analytic {analytic:.2}"
+        );
+    }
+
+    #[test]
+    fn stars_and_bars_targets_are_valid_and_cover_buckets() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let targets = shuffle_to_buckets(10_000, 16, &mut rng);
+        assert_eq!(targets.len(), 10_000);
+        assert!(targets.iter().all(|&t| t < 16));
+        let distinct: HashSet<_> = targets.iter().collect();
+        assert!(distinct.len() > 10, "with 10k items nearly all buckets get hit");
+        // Single bucket edge case.
+        assert_eq!(shuffle_to_buckets(5, 1, &mut rng), vec![0; 5]);
+    }
+
+    #[test]
+    fn slot_seal_open_roundtrip_and_dummy_flag() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let key = AeadKey::random(&mut rng);
+        let mut counter = 0u64;
+        let sealed_real = seal_slot(&key, &mut counter, Some(b"hello-world-1234"), 16);
+        let sealed_dummy = seal_slot(&key, &mut counter, None, 16);
+        assert_eq!(sealed_real.len(), sealed_dummy.len());
+        assert_eq!(
+            open_slot(&key, &sealed_real, 0).unwrap().unwrap(),
+            b"hello-world-1234"
+        );
+        assert!(open_slot(&key, &sealed_dummy, 1).unwrap().is_none());
+        // Tampering is detected.
+        let mut tampered = sealed_real.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 1;
+        assert!(open_slot(&key, &tampered, 0).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! Stash Shuffle parameter selection, overhead formula and security estimate
+//! (reproducing the columns of Table 1).
+
+use crate::error::ShuffleError;
+
+/// Tunable parameters of the Stash Shuffle.
+///
+/// Using the paper's notation: the input of `N` records is processed in `B`
+/// buckets of `D = ⌈N/B⌉` records; at most `C` records travel from any input
+/// bucket to any output bucket (the rest queue in a stash of total capacity
+/// `S`); the compression phase keeps a sliding window of `W` intermediate
+/// buckets in private memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StashShuffleParams {
+    /// Number of buckets `B`.
+    pub num_buckets: usize,
+    /// Per input→output bucket record cap `C`.
+    pub chunk_cap: usize,
+    /// Total stash capacity `S` (records).
+    pub stash_capacity: usize,
+    /// Compression-phase window `W` (buckets).
+    pub window: usize,
+}
+
+/// One row of Table 1: a problem size and the parameters used for it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Scenario {
+    /// Problem size `N` in records.
+    pub records: usize,
+    /// Parameters used by the paper for this size.
+    pub params: StashShuffleParams,
+    /// The `log(ε)` value reported in the paper (from the companion security
+    /// analysis), for comparison against our analytic estimate.
+    pub paper_log2_epsilon: f64,
+    /// The relative processing overhead reported in the paper.
+    pub paper_overhead: f64,
+}
+
+impl StashShuffleParams {
+    /// Creates a parameter set, validating basic consistency.
+    pub fn new(
+        num_buckets: usize,
+        chunk_cap: usize,
+        stash_capacity: usize,
+        window: usize,
+    ) -> Result<Self, ShuffleError> {
+        if num_buckets == 0 {
+            return Err(ShuffleError::InvalidParameters("num_buckets must be > 0"));
+        }
+        if chunk_cap == 0 {
+            return Err(ShuffleError::InvalidParameters("chunk_cap must be > 0"));
+        }
+        if window == 0 {
+            return Err(ShuffleError::InvalidParameters("window must be > 0"));
+        }
+        Ok(Self {
+            num_buckets,
+            chunk_cap,
+            stash_capacity,
+            window,
+        })
+    }
+
+    /// Derives reasonable parameters for an arbitrary problem size, following
+    /// the pattern of the paper's Table 1 scenarios: the expected per-pair
+    /// load `D/B` is kept around 10–12, the cap `C` is set five standard
+    /// deviations above it, and the stash holds about 40 records per bucket.
+    pub fn derive(records: usize) -> Self {
+        let n = records.max(1) as f64;
+        let buckets = ((n / 11.0).sqrt().round() as usize).max(1);
+        let mean = n / (buckets as f64 * buckets as f64);
+        let chunk_cap = (mean + 5.0 * mean.sqrt()).ceil() as usize;
+        let stash_capacity = 40 * buckets;
+        Self {
+            num_buckets: buckets,
+            chunk_cap: chunk_cap.max(1),
+            stash_capacity,
+            window: 4,
+        }
+    }
+
+    /// The four scenarios of Table 1 with the paper's reported values.
+    pub fn table1_scenarios() -> Vec<Table1Scenario> {
+        vec![
+            Table1Scenario {
+                records: 10_000_000,
+                params: StashShuffleParams {
+                    num_buckets: 1_000,
+                    chunk_cap: 25,
+                    stash_capacity: 40_000,
+                    window: 4,
+                },
+                paper_log2_epsilon: -80.1,
+                paper_overhead: 3.50,
+            },
+            Table1Scenario {
+                records: 50_000_000,
+                params: StashShuffleParams {
+                    num_buckets: 2_000,
+                    chunk_cap: 30,
+                    stash_capacity: 86_000,
+                    window: 4,
+                },
+                paper_log2_epsilon: -81.8,
+                paper_overhead: 3.40,
+            },
+            Table1Scenario {
+                records: 100_000_000,
+                params: StashShuffleParams {
+                    num_buckets: 3_000,
+                    chunk_cap: 30,
+                    stash_capacity: 117_000,
+                    window: 4,
+                },
+                paper_log2_epsilon: -81.9,
+                paper_overhead: 3.70,
+            },
+            Table1Scenario {
+                records: 200_000_000,
+                params: StashShuffleParams {
+                    num_buckets: 4_400,
+                    chunk_cap: 24,
+                    stash_capacity: 170_000,
+                    window: 4,
+                },
+                paper_log2_epsilon: -64.5,
+                paper_overhead: 3.32,
+            },
+        ]
+    }
+
+    /// Records per bucket, `D = ⌈N/B⌉`.
+    pub fn items_per_bucket(&self, records: usize) -> usize {
+        records.div_ceil(self.num_buckets)
+    }
+
+    /// Stash records drained into each output bucket at the end of the
+    /// distribution phase, `K = ⌈S/B⌉`.
+    pub fn stash_drain_per_bucket(&self) -> usize {
+        self.stash_capacity.div_ceil(self.num_buckets)
+    }
+
+    /// Number of intermediate records written during the distribution phase:
+    /// `B · (B·C + K) ≈ B²C + S`.
+    pub fn intermediate_items(&self, _records: usize) -> u128 {
+        let b = self.num_buckets as u128;
+        let c = self.chunk_cap as u128;
+        let k = self.stash_drain_per_bucket() as u128;
+        b * (b * c + k)
+    }
+
+    /// The relative processing overhead `(N + B²C + S) / N` (Table 1's last
+    /// column): how many records the enclave touches per input record.
+    pub fn overhead_factor(&self, records: usize) -> f64 {
+        if records == 0 {
+            return 0.0;
+        }
+        let total = records as u128 + self.intermediate_items(records);
+        total as f64 / records as f64
+    }
+
+    /// An analytic estimate of `log₂(ε)`, the total-variation distance of the
+    /// produced permutation from uniform.
+    ///
+    /// The exact analysis is in the companion report (Maniatis–Mironov–Talwar,
+    /// arXiv:1709.07553). We bound ε by a union bound over all B² input→output
+    /// bucket pairs of the probability that a pair needs more than `C + S/B`
+    /// records (cap plus its share of the stash), using the Chernoff bound for
+    /// the Poisson approximation of the per-pair load. This tracks the
+    /// paper's reported values within a handful of bits across Table 1 (see
+    /// EXPERIMENTS.md) and, more importantly, preserves the parameter trends.
+    pub fn log2_epsilon(&self, records: usize) -> f64 {
+        if records == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let b = self.num_buckets as f64;
+        let d = self.items_per_bucket(records) as f64;
+        let mean = d / b;
+        let threshold = self.chunk_cap as f64 + self.stash_capacity as f64 / b;
+        if threshold <= mean {
+            // The cap is below the expected load: essentially no hiding.
+            return 0.0;
+        }
+        // Chernoff: P(X >= a) <= e^{-m} (e m / a)^a for Poisson(m), a > m.
+        let ln_p = -mean + threshold * (1.0 + (mean / threshold).ln());
+        let log2_p = ln_p / std::f64::consts::LN_2;
+        let log2_pairs = 2.0 * b.log2();
+        (log2_pairs + log2_p).min(0.0)
+    }
+
+    /// A model of the peak SGX private memory used at problem size `records`
+    /// with `record_bytes`-byte records (the "SGX Mem" column of Table 2).
+    ///
+    /// Distribution phase: one input bucket, the B output chunks of C slots
+    /// and a partially filled stash. Compression phase: one imported
+    /// intermediate bucket plus the sliding-window queue.
+    pub fn modeled_private_memory(&self, records: usize, record_bytes: usize) -> usize {
+        let d = self.items_per_bucket(records);
+        let b = self.num_buckets;
+        let c = self.chunk_cap;
+        let k = self.stash_drain_per_bucket();
+        let distribution = (d + b * c + self.stash_capacity / 4) * record_bytes;
+        let compression = (b * c + k + self.window * d) * record_bytes;
+        distribution.max(compression)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_overheads_match_paper() {
+        for scenario in StashShuffleParams::table1_scenarios() {
+            let computed = scenario.params.overhead_factor(scenario.records);
+            assert!(
+                (computed - scenario.paper_overhead).abs() < 0.05,
+                "overhead for N={} computed {computed:.2} vs paper {}",
+                scenario.records,
+                scenario.paper_overhead
+            );
+        }
+    }
+
+    #[test]
+    fn table1_security_estimates_are_in_range() {
+        // Our Chernoff-based estimate should land within ~12 bits of the
+        // paper's exact analysis and must preserve "all scenarios are much
+        // stronger than the 2^-64 safety level" except the last, which the
+        // paper itself reports at -64.5.
+        for scenario in StashShuffleParams::table1_scenarios() {
+            let est = scenario.params.log2_epsilon(scenario.records);
+            assert!(
+                (est - scenario.paper_log2_epsilon).abs() < 14.0,
+                "log2(eps) for N={} estimated {est:.1} vs paper {}",
+                scenario.records,
+                scenario.paper_log2_epsilon
+            );
+            assert!(est < -55.0, "estimate should indicate strong security");
+        }
+    }
+
+    #[test]
+    fn modeled_memory_matches_table2_magnitudes() {
+        // Table 2 reports 22, 52, 78 and 69 MB. The model should land in the
+        // same tens-of-megabytes range for each scenario.
+        let paper_mb = [22.0, 52.0, 78.0, 69.0];
+        for (scenario, &expected) in StashShuffleParams::table1_scenarios()
+            .iter()
+            .zip(paper_mb.iter())
+        {
+            let modeled =
+                scenario.params.modeled_private_memory(scenario.records, 318) as f64 / 1e6;
+            assert!(
+                modeled > expected * 0.4 && modeled < expected * 2.5,
+                "modeled {modeled:.0} MB vs paper {expected} MB"
+            );
+            // And every scenario must fit the 92 MB enclave.
+            assert!(
+                scenario.params.modeled_private_memory(scenario.records, 318)
+                    < prochlo_sgx::DEFAULT_EPC_BYTES
+            );
+        }
+    }
+
+    #[test]
+    fn derive_tracks_paper_parameters() {
+        let derived = StashShuffleParams::derive(10_000_000);
+        assert!((800..=1300).contains(&derived.num_buckets));
+        assert!((20..=35).contains(&derived.chunk_cap));
+        assert_eq!(derived.window, 4);
+        // Derived parameters should give an overhead comparable to Table 1.
+        let overhead = derived.overhead_factor(10_000_000);
+        assert!(overhead > 2.0 && overhead < 5.0, "overhead {overhead}");
+        // And strong security.
+        assert!(derived.log2_epsilon(10_000_000) < -60.0);
+    }
+
+    #[test]
+    fn derive_handles_small_inputs() {
+        for n in [1usize, 10, 100, 1_000, 50_000] {
+            let p = StashShuffleParams::derive(n);
+            assert!(p.num_buckets >= 1);
+            assert!(p.chunk_cap >= 1);
+            assert!(p.items_per_bucket(n) * p.num_buckets >= n);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(StashShuffleParams::new(0, 1, 1, 1).is_err());
+        assert!(StashShuffleParams::new(1, 0, 1, 1).is_err());
+        assert!(StashShuffleParams::new(1, 1, 1, 0).is_err());
+        assert!(StashShuffleParams::new(10, 5, 100, 2).is_ok());
+    }
+
+    #[test]
+    fn epsilon_degrades_when_cap_is_too_tight() {
+        let loose = StashShuffleParams::new(100, 30, 4_000, 4).unwrap();
+        let tight = StashShuffleParams::new(100, 11, 0, 4).unwrap();
+        let n = 100 * 1_000;
+        assert!(loose.log2_epsilon(n) < tight.log2_epsilon(n));
+        // A cap at/below the mean provides no hiding at all.
+        let hopeless = StashShuffleParams::new(100, 10, 0, 4).unwrap();
+        assert_eq!(hopeless.log2_epsilon(n), 0.0);
+    }
+
+    #[test]
+    fn overhead_is_monotone_in_chunk_cap() {
+        let a = StashShuffleParams::new(100, 20, 1_000, 4).unwrap();
+        let b = StashShuffleParams::new(100, 40, 1_000, 4).unwrap();
+        assert!(a.overhead_factor(100_000) < b.overhead_factor(100_000));
+    }
+}

@@ -1,0 +1,171 @@
+//! A counting histogram keyed by arbitrary hashable items.
+//!
+//! Used by the analyzer to materialize frequency tables, by the RAPPOR
+//! decoder to accumulate bit counts, and by the benchmark harnesses to report
+//! how many distinct items were recovered.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A multiset counter over items of type `T`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram<T: Eq + Hash> {
+    counts: HashMap<T, u64>,
+    total: u64,
+}
+
+impl<T: Eq + Hash> Default for Histogram<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Eq + Hash> Histogram<T> {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Adds one observation of `item`.
+    pub fn add(&mut self, item: T) {
+        self.add_n(item, 1);
+    }
+
+    /// Adds `n` observations of `item`.
+    pub fn add_n(&mut self, item: T, n: u64) {
+        *self.counts.entry(item).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Count of a specific item (0 if absent).
+    pub fn count(&self, item: &T) -> u64 {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct items observed at least once.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of distinct items whose count is at least `threshold`.
+    pub fn distinct_at_least(&self, threshold: u64) -> usize {
+        self.counts.values().filter(|&&c| c >= threshold).count()
+    }
+
+    /// Iterates over `(item, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, u64)> {
+        self.counts.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Consumes the histogram and returns the raw counts map.
+    pub fn into_counts(self) -> HashMap<T, u64> {
+        self.counts
+    }
+
+    /// Returns the `k` most frequent items, most frequent first.
+    ///
+    /// Ties are broken arbitrarily but deterministically for a given map
+    /// iteration order; callers that need stable output should sort further.
+    pub fn top_k(&self, k: usize) -> Vec<(&T, u64)>
+    where
+        T: Ord,
+    {
+        let mut entries: Vec<(&T, u64)> = self.iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Removes all items whose count is below `threshold`, returning the
+    /// number of *items* (not observations) removed.
+    ///
+    /// This is the naive cardinality-thresholding primitive (the
+    /// k-anonymity-style filter the paper improves upon with randomized
+    /// thresholding).
+    pub fn retain_at_least(&mut self, threshold: u64) -> usize {
+        let before = self.counts.len();
+        self.counts.retain(|_, &mut c| c >= threshold);
+        self.total = self.counts.values().sum();
+        before - self.counts.len()
+    }
+}
+
+impl<T: Eq + Hash> FromIterator<T> for Histogram<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut h = Self::new();
+        for item in iter {
+            h.add(item);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_totals() {
+        let mut h = Histogram::new();
+        h.add("a");
+        h.add("a");
+        h.add("b");
+        assert_eq!(h.count(&"a"), 2);
+        assert_eq!(h.count(&"b"), 1);
+        assert_eq!(h.count(&"c"), 0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.distinct(), 2);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let h: Histogram<u32> = [1u32, 1, 2, 3, 3, 3].into_iter().collect();
+        assert_eq!(h.count(&3), 3);
+        assert_eq!(h.distinct(), 3);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn distinct_at_least_filters() {
+        let h: Histogram<u32> = [1u32, 1, 1, 2, 2, 3].into_iter().collect();
+        assert_eq!(h.distinct_at_least(1), 3);
+        assert_eq!(h.distinct_at_least(2), 2);
+        assert_eq!(h.distinct_at_least(3), 1);
+        assert_eq!(h.distinct_at_least(4), 0);
+    }
+
+    #[test]
+    fn top_k_orders_by_count() {
+        let h: Histogram<u32> = [5u32, 5, 5, 7, 7, 9].into_iter().collect();
+        let top = h.top_k(2);
+        assert_eq!(top[0], (&5, 3));
+        assert_eq!(top[1], (&7, 2));
+    }
+
+    #[test]
+    fn retain_at_least_drops_small_items() {
+        let mut h: Histogram<u32> = [1u32, 1, 2, 3, 3, 3].into_iter().collect();
+        let removed = h.retain_at_least(2);
+        assert_eq!(removed, 1);
+        assert_eq!(h.distinct(), 2);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(&2), 0);
+    }
+
+    #[test]
+    fn add_n_accumulates() {
+        let mut h = Histogram::new();
+        h.add_n("x", 10);
+        h.add_n("x", 5);
+        assert_eq!(h.count(&"x"), 15);
+        assert_eq!(h.total(), 15);
+    }
+}

@@ -1,0 +1,110 @@
+//! Small numeric summaries used by the analytics crate and the benchmark
+//! harnesses (means, standard deviations, percentiles, RMSE).
+
+/// Arithmetic mean of a slice. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (unbiased, `n - 1` denominator).
+///
+/// Returns 0 for slices with fewer than two elements.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Root-mean-square error between predictions and targets.
+///
+/// This is the utility metric of the Flix experiment (Table 5).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "prediction/target length mismatch"
+    );
+    assert!(!predictions.is_empty(), "RMSE of an empty set is undefined");
+    let sse: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    (sse / predictions.len() as f64).sqrt()
+}
+
+/// The `q`-th percentile (0 ≤ q ≤ 100) using nearest-rank on a sorted copy.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or `q` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of an empty set is undefined");
+    assert!((0.0..=100.0).contains(&q), "percentile must be in [0, 100]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    let rank = ((q / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        assert_eq!(stddev(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is ~2.138.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((stddev(&xs) - 2.1381).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rmse_zero_for_perfect_predictions() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rmse_rejects_mismatched_lengths() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn percentile_extremes() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+}

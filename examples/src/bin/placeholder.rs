@@ -1,0 +1,1 @@
+fn main() { println!("see src/bin for examples"); }

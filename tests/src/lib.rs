@@ -1,0 +1,1 @@
+//! Integration-test support crate; the tests themselves live in `tests/tests/`.

@@ -1,0 +1,157 @@
+//! Tests of the §3.1 attack models: what each compromised party can and
+//! cannot learn from what it holds.
+
+use prochlo_core::encoder::{ClientKeys, CrowdStrategy, Encoder, ANALYZER_AAD, SHUFFLER_AAD};
+use prochlo_core::record::ShufflerEnvelope;
+use prochlo_core::{Pipeline, ShufflerConfig};
+use prochlo_crypto::hybrid::{HybridCiphertext, HybridKeypair};
+use prochlo_crypto::{mle, shamir};
+use prochlo_sgx::{AttestationAuthority, QuoteVerifier};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn client_keys(rng: &mut StdRng) -> (ClientKeys, HybridKeypair, HybridKeypair) {
+    let shuffler = HybridKeypair::generate(rng);
+    let analyzer = HybridKeypair::generate(rng);
+    (
+        ClientKeys {
+            shuffler: *shuffler.public_key(),
+            analyzer: *analyzer.public_key(),
+            crowd_blinding: None,
+        },
+        shuffler,
+        analyzer,
+    )
+}
+
+#[test]
+fn compromised_shuffler_sees_crowd_ids_but_not_payloads() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (keys, shuffler, _analyzer) = client_keys(&mut rng);
+    let encoder = Encoder::new(keys, 64);
+    let report = encoder
+        .encode_plain(b"embarrassing-but-common-value", CrowdStrategy::Hash(b"crowd"), 0, &mut rng)
+        .unwrap();
+
+    // The (honest-but-curious) shuffler peels the outer layer...
+    let envelope_bytes = report.outer.open(shuffler.secret(), SHUFFLER_AAD).unwrap();
+    let envelope = ShufflerEnvelope::from_bytes(&envelope_bytes).unwrap();
+    // ...and learns the crowd ID, but the payload stays sealed: decrypting the
+    // inner layer with the shuffler's key fails.
+    let inner = HybridCiphertext::from_bytes(&envelope.inner).unwrap();
+    assert!(inner.open(shuffler.secret(), ANALYZER_AAD).is_err());
+    assert!(inner.open(shuffler.secret(), SHUFFLER_AAD).is_err());
+}
+
+#[test]
+fn compromised_analyzer_cannot_link_reports_to_metadata() {
+    // The analyzer only ever receives the shuffled inner ciphertexts; the
+    // pipeline output must contain no transport metadata and no arrival
+    // ordering correlation.
+    let mut rng = StdRng::seed_from_u64(2);
+    let pipeline = Pipeline::new(ShufflerConfig::default().without_thresholding(), 16, &mut rng);
+    let encoder = pipeline.encoder();
+    let reports: Vec<_> = (0..300u64)
+        .map(|i| {
+            encoder
+                .encode_plain(format!("user-value-{i}").as_bytes(), CrowdStrategy::None, i, &mut rng)
+                .unwrap()
+        })
+        .collect();
+    let result = pipeline.run_batch(&reports, &mut rng).unwrap();
+    // Rows are not in arrival order (overwhelmingly likely after a shuffle of
+    // 300 distinct items).
+    let arrival: Vec<Vec<u8>> = (0..300u64)
+        .map(|i| format!("user-value-{i}").into_bytes())
+        .collect();
+    assert_ne!(result.database.rows(), &arrival[..]);
+    // And the database type simply has no metadata to expose: all we can do
+    // is count values.
+    assert_eq!(result.database.rows().len(), 300);
+}
+
+#[test]
+fn analyzer_cannot_read_secret_shared_values_below_threshold_even_with_shuffler_help() {
+    // Even if the analyzer and shuffler collude (so the adversary holds both
+    // private keys), a secret-shared value reported by fewer than t clients
+    // stays unreadable: recovery needs t distinct shares.
+    let mut rng = StdRng::seed_from_u64(3);
+    let (keys, shuffler, analyzer) = client_keys(&mut rng);
+    let encoder = Encoder::new(keys, 64);
+    let mut shares = Vec::new();
+    let mut ciphertexts = Vec::new();
+    for i in 0..10u64 {
+        let report = encoder
+            .encode_secret_shared(b"hard-to-guess-8f3a9c", 20, CrowdStrategy::None, i, &mut rng)
+            .unwrap();
+        let envelope_bytes = report.outer.open(shuffler.secret(), SHUFFLER_AAD).unwrap();
+        let envelope = ShufflerEnvelope::from_bytes(&envelope_bytes).unwrap();
+        let inner = HybridCiphertext::from_bytes(&envelope.inner).unwrap();
+        let payload = inner.open(analyzer.secret(), ANALYZER_AAD).unwrap();
+        match prochlo_core::record::AnalyzerPayload::from_bytes(&payload).unwrap() {
+            prochlo_core::record::AnalyzerPayload::SecretShared { ciphertext, share } => {
+                ciphertexts.push(ciphertext);
+                shares.push(shamir::Share::from_bytes(&share).unwrap());
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+    // All ten ciphertexts are identical (deterministic MLE), but ten shares
+    // are not enough for the threshold of twenty.
+    assert!(ciphertexts.windows(2).all(|w| w[0] == w[1]));
+    assert!(shamir::recover_secret(&shares, 20).is_err());
+    // And brute-forcing the AEAD with a guessed-wrong key fails.
+    let wrong_key = mle::derive_key(b"hard-to-guess-WRONG");
+    let ct = mle::MleCiphertext::from_bytes(&ciphertexts[0]).unwrap();
+    assert!(mle::decrypt(&wrong_key, &ct).is_err());
+}
+
+#[test]
+fn clients_reject_quotes_from_unknown_enclaves() {
+    // The client-side trust decision of §4.1.1: a shuffler key is only
+    // accepted when the attestation chain verifies and the measurement is a
+    // known shuffler build.
+    let mut rng = StdRng::seed_from_u64(4);
+    let authority = AttestationAuthority::from_seed(b"intel");
+    let cpu = authority.provision_cpu(b"cpu-1");
+    let shuffler = prochlo_core::Shuffler::new(ShufflerConfig::default(), &mut rng);
+    let quote = shuffler.attest(&cpu);
+
+    // A verifier that trusts this build accepts and extracts the key.
+    let good = QuoteVerifier::new(authority.root_key(), vec![shuffler.enclave().measurement()]);
+    assert_eq!(good.verify(&quote).unwrap(), shuffler.public_key().to_bytes());
+
+    // A verifier that only trusts some other build refuses to use the key.
+    let bad = QuoteVerifier::new(authority.root_key(), vec![[7u8; 32]]);
+    assert!(bad.verify(&quote).is_err());
+}
+
+#[test]
+fn sybil_crowd_inflation_is_visible_in_stats_but_thresholding_still_applies() {
+    // Encoder-compromise model: an attacker submits many reports with the
+    // same crowd ID to drag a rare value over the threshold. The pipeline
+    // cannot prevent this (the paper explicitly scopes Sybil attacks out) but
+    // the shuffler statistics expose the inflated crowd, and honest crowds
+    // are unaffected.
+    let mut rng = StdRng::seed_from_u64(5);
+    let pipeline = Pipeline::new(ShufflerConfig::default(), 32, &mut rng);
+    let encoder = pipeline.encoder();
+    let mut reports = Vec::new();
+    for i in 0..40u64 {
+        reports.push(
+            encoder
+                .encode_plain(b"honest-value", CrowdStrategy::Hash(b"honest"), i, &mut rng)
+                .unwrap(),
+        );
+    }
+    for i in 0..40u64 {
+        reports.push(
+            encoder
+                .encode_plain(b"sybil-target", CrowdStrategy::Hash(b"sybil"), 100 + i, &mut rng)
+                .unwrap(),
+        );
+    }
+    let result = pipeline.run_batch(&reports, &mut rng).unwrap();
+    assert_eq!(result.shuffler_stats.crowds_seen, 2);
+    assert!(result.database.count(b"honest-value") > 20);
+}
