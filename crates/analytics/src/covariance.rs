@@ -159,8 +159,7 @@ impl CovarianceModel {
             };
             // Use the co-rating strength relative to the item means as the
             // similarity weight.
-            let similarity =
-                cov - self.item_mean(movie) * self.item_mean(rating.movie);
+            let similarity = cov - self.item_mean(movie) * self.item_mean(rating.movie);
             let support = self.support(movie, rating.movie) as f64;
             let weight = similarity * (support / (support + 10.0));
             weighted += weight * (rating.stars as f64 - self.item_mean(rating.movie));
@@ -208,9 +207,21 @@ mod tests {
     #[test]
     fn tuples_cover_all_pairs_in_a_basket() {
         let basket = vec![
-            Rating { user: 0, movie: 3, stars: 4 },
-            Rating { user: 0, movie: 1, stars: 2 },
-            Rating { user: 0, movie: 7, stars: 5 },
+            Rating {
+                user: 0,
+                movie: 3,
+                stars: 4,
+            },
+            Rating {
+                user: 0,
+                movie: 1,
+                stars: 2,
+            },
+            Rating {
+                user: 0,
+                movie: 7,
+                stars: 5,
+            },
         ];
         let tuples = RatingTuple::from_basket(&basket);
         assert_eq!(tuples.len(), 3);
@@ -276,7 +287,11 @@ mod tests {
     #[test]
     fn empty_model_predicts_the_midpoint() {
         let model = CovarianceModel::new();
-        let basket = vec![Rating { user: 0, movie: 1, stars: 5 }];
+        let basket = vec![Rating {
+            user: 0,
+            movie: 1,
+            stars: 5,
+        }];
         assert!((model.predict(&basket, 2) - 3.0).abs() < 1e-12);
         assert_eq!(model.evaluate_rmse(&[]), 0.0);
     }

@@ -21,7 +21,10 @@ impl RecoveryReport {
     pub fn compare<T: Eq + std::hash::Hash + Clone>(truth: &[T], recovered: &[T]) -> Self {
         let truth_set: HashSet<&T> = truth.iter().collect();
         let recovered_set: HashSet<&T> = recovered.iter().collect();
-        let true_positives = recovered_set.iter().filter(|item| truth_set.contains(**item)).count();
+        let true_positives = recovered_set
+            .iter()
+            .filter(|item| truth_set.contains(**item))
+            .count();
         Self {
             ground_truth: truth_set.len(),
             recovered: recovered_set.len(),

@@ -33,9 +33,12 @@ fn bench_crypto(c: &mut Criterion) {
 
     let recipient = HybridKeypair::generate(&mut rng);
     group.bench_function("hybrid_seal_64B", |b| {
-        b.iter(|| HybridCiphertext::seal(&mut rng, recipient.public_key(), b"aad", &payload).unwrap())
+        b.iter(|| {
+            HybridCiphertext::seal(&mut rng, recipient.public_key(), b"aad", &payload).unwrap()
+        })
     });
-    let sealed = HybridCiphertext::seal(&mut rng, recipient.public_key(), b"aad", &payload).unwrap();
+    let sealed =
+        HybridCiphertext::seal(&mut rng, recipient.public_key(), b"aad", &payload).unwrap();
     group.bench_function("hybrid_open_64B", |b| {
         b.iter(|| sealed.open(recipient.secret(), b"aad").unwrap())
     });
@@ -47,7 +50,9 @@ fn bench_crypto(c: &mut Criterion) {
         b.iter(|| ElGamalCiphertext::encrypt_hashed(&mut rng, elgamal.public_key(), b"crowd"))
     });
     group.bench_function("elgamal_blind", |b| b.iter(|| ciphertext.blind(&blinding)));
-    group.bench_function("elgamal_decrypt", |b| b.iter(|| elgamal.decrypt(&ciphertext)));
+    group.bench_function("elgamal_decrypt", |b| {
+        b.iter(|| elgamal.decrypt(&ciphertext))
+    });
 
     let secret = mle::derive_key(b"some reported value");
     group.bench_function("mle_encrypt_64B", |b| b.iter(|| mle::encrypt(&payload)));

@@ -21,12 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Runs the ESA path and returns the number of distinct words recovered.
-fn run_esa(
-    corpus: &VocabCorpus,
-    words: &[Vec<u8>],
-    with_crowds: bool,
-    rng: &mut StdRng,
-) -> usize {
+fn run_esa(corpus: &VocabCorpus, words: &[Vec<u8>], with_crowds: bool, rng: &mut StdRng) -> usize {
     let config = if with_crowds {
         ShufflerConfig::default()
     } else {
@@ -65,7 +60,12 @@ fn run_rappor(corpus: &VocabCorpus, words: &[Vec<u8>], rng: &mut StdRng) -> usiz
 }
 
 /// Runs partitioned RAPPOR (§2.2) and returns candidates recovered.
-fn run_partitioned(corpus: &VocabCorpus, words: &[Vec<u8>], partitions: usize, rng: &mut StdRng) -> usize {
+fn run_partitioned(
+    corpus: &VocabCorpus,
+    words: &[Vec<u8>],
+    partitions: usize,
+    rng: &mut StdRng,
+) -> usize {
     let params = RapporParams::for_epsilon(2.0);
     let mut aggregate = PartitionedRappor::new(params, partitions);
     for word in words {
@@ -82,7 +82,13 @@ fn main() {
     print_header(
         "Figure 5: unique words recovered per mechanism",
         &[
-            "sample", "ground truth", "NoCrowd", "*-Crowd", "Partition", "RAPPOR", "secs",
+            "sample",
+            "ground truth",
+            "NoCrowd",
+            "*-Crowd",
+            "Partition",
+            "RAPPOR",
+            "secs",
         ],
     );
 

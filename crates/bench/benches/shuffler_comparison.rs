@@ -49,13 +49,12 @@ fn main() {
             .find(|s| s.records == n)
             .expect("scenario exists");
         println!(
-            "{:>22} | {:>5} | {:>7.1}x | {:>6} | {:>12} | {}",
+            "{:>22} | {:>5} | {:>7.1}x | {:>6} | {:>12} | true",
             "Stash Shuffle",
             fmt_records(n),
             scenario.params.overhead_factor(n),
             2,
             "> 200M",
-            true,
         );
         println!();
     }

@@ -45,11 +45,19 @@ fn main() {
 
     print_header(
         &format!("Suggest: next-view top-1 accuracy ({users} training users)"),
-        &["model", "top-1 accuracy", "fraction of non-private", "better than 1-in-8?"],
+        &[
+            "model",
+            "top-1 accuracy",
+            "fraction of non-private",
+            "better than 1-in-8?",
+        ],
     );
     println!(
         "{:>22} | {:>8.3} | {:>8.3} | {}",
-        "full history (no priv)", full_accuracy, 1.0, full_accuracy > 0.125
+        "full history (no priv)",
+        full_accuracy,
+        1.0,
+        full_accuracy > 0.125
     );
     for (m, accuracy) in rows {
         println!(

@@ -12,7 +12,14 @@ fn main() {
     print_header(
         "Table 1: Stash Shuffle parameter scenarios",
         &[
-            "N", "B", "C", "W", "S", "log2(eps) model", "log2(eps) paper", "overhead model",
+            "N",
+            "B",
+            "C",
+            "W",
+            "S",
+            "log2(eps) model",
+            "log2(eps) paper",
+            "overhead model",
             "overhead paper",
         ],
     );

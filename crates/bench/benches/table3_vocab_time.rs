@@ -20,7 +20,12 @@ use rand::SeedableRng;
 fn main() {
     let divisor = env_usize("PROCHLO_SCALE_DIV", 1000).max(1);
     let paper_sizes = [10_000usize, 100_000, 1_000_000, 10_000_000];
-    let paper_seconds = [(8.0, 15.0, 7.0), (71.0, 153.0, 64.0), (713.0, 1440.0, 643.0), (7200.0, 14760.0, 6480.0)];
+    let paper_seconds = [
+        (8.0, 15.0, 7.0),
+        (71.0, 153.0, 64.0),
+        (713.0, 1440.0, 643.0),
+        (7200.0, 14760.0, 6480.0),
+    ];
     let corpus = VocabCorpus::figure5_default();
 
     print_header(
@@ -48,7 +53,8 @@ fn main() {
             continue;
         }
         // Single-shuffler pipeline (hashed crowd IDs, secret-share encoding).
-        let pipeline = Pipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(20);
+        let pipeline =
+            Pipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(20);
         let encoder = pipeline.encoder();
         let words = corpus.sample_words(clients, &mut rng);
         let (_, single_seconds) = timed(|| {
@@ -57,7 +63,13 @@ fn main() {
                 .enumerate()
                 .map(|(i, word)| {
                     encoder
-                        .encode_secret_shared(word, 20, CrowdStrategy::Hash(word), i as u64, &mut rng)
+                        .encode_secret_shared(
+                            word,
+                            20,
+                            CrowdStrategy::Hash(word),
+                            i as u64,
+                            &mut rng,
+                        )
                         .expect("encode")
                 })
                 .collect();
@@ -65,7 +77,8 @@ fn main() {
         });
 
         // Two-shuffler pipeline with blinded crowd IDs.
-        let split = SplitPipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(20);
+        let split =
+            SplitPipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(20);
         let split_encoder = split.encoder();
         let (_, split_seconds) = timed(|| {
             let reports: Vec<_> = words
@@ -73,7 +86,13 @@ fn main() {
                 .enumerate()
                 .map(|(i, word)| {
                     split_encoder
-                        .encode_secret_shared(word, 20, CrowdStrategy::Blind(word), i as u64, &mut rng)
+                        .encode_secret_shared(
+                            word,
+                            20,
+                            CrowdStrategy::Blind(word),
+                            i as u64,
+                            &mut rng,
+                        )
                         .expect("encode")
                 })
                 .collect();

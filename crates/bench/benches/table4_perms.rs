@@ -73,9 +73,15 @@ fn main() {
     println!(
         "{:>13} | {:>11} | {:>12} | {:>5}",
         "Naive Thresh.",
-        naive.get(&PermissionFeature::Geolocation).map_or(0, |s| s.len()),
-        naive.get(&PermissionFeature::Notifications).map_or(0, |s| s.len()),
-        naive.get(&PermissionFeature::AudioCapture).map_or(0, |s| s.len()),
+        naive
+            .get(&PermissionFeature::Geolocation)
+            .map_or(0, |s| s.len()),
+        naive
+            .get(&PermissionFeature::Notifications)
+            .map_or(0, |s| s.len()),
+        naive
+            .get(&PermissionFeature::AudioCapture)
+            .map_or(0, |s| s.len()),
     );
 
     // Rows 2-5: noisy crowd threshold per ⟨page, feature, action⟩.
@@ -90,9 +96,15 @@ fn main() {
         println!(
             "{:>13} | {:>11} | {:>12} | {:>5}",
             action.name(),
-            recovered.get(&PermissionFeature::Geolocation).map_or(0, |s| s.len()),
-            recovered.get(&PermissionFeature::Notifications).map_or(0, |s| s.len()),
-            recovered.get(&PermissionFeature::AudioCapture).map_or(0, |s| s.len()),
+            recovered
+                .get(&PermissionFeature::Geolocation)
+                .map_or(0, |s| s.len()),
+            recovered
+                .get(&PermissionFeature::Notifications)
+                .map_or(0, |s| s.len()),
+            recovered
+                .get(&PermissionFeature::AudioCapture)
+                .map_or(0, |s| s.len()),
         );
     }
 

@@ -52,8 +52,13 @@ fn main() {
     print_header(
         "Table 5: Flix collaborative-filtering RMSE",
         &[
-            "# movies", "# users", "# reports (prochlo)", "RMSE no privacy", "RMSE prochlo",
-            "delta", "secs",
+            "# movies",
+            "# users",
+            "# reports (prochlo)",
+            "RMSE no privacy",
+            "RMSE prochlo",
+            "delta",
+            "secs",
         ],
     );
 

@@ -48,14 +48,17 @@ pub fn print_header(title: &str, columns: &[&str]) {
     println!();
     println!("== {title} ==");
     println!("{}", columns.join(" | "));
-    println!("{}", "-".repeat(columns.iter().map(|c| c.len() + 3).sum::<usize>().max(20)));
+    println!(
+        "{}",
+        "-".repeat(columns.iter().map(|c| c.len() + 3).sum::<usize>().max(20))
+    );
 }
 
 /// Formats a number of records compactly (10M, 50K, ...).
 pub fn fmt_records(n: usize) -> String {
-    if n >= 1_000_000 && n % 1_000_000 == 0 {
+    if n >= 1_000_000 && n.is_multiple_of(1_000_000) {
         format!("{}M", n / 1_000_000)
-    } else if n >= 1_000 && n % 1_000 == 0 {
+    } else if n >= 1_000 && n.is_multiple_of(1_000) {
         format!("{}K", n / 1_000)
     } else {
         n.to_string()
@@ -69,7 +72,10 @@ mod tests {
     #[test]
     fn env_defaults_apply() {
         assert_eq!(env_usize("PROCHLO_DOES_NOT_EXIST", 7), 7);
-        assert_eq!(env_usize_list("PROCHLO_DOES_NOT_EXIST", &[1, 2]), vec![1, 2]);
+        assert_eq!(
+            env_usize_list("PROCHLO_DOES_NOT_EXIST", &[1, 2]),
+            vec![1, 2]
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The ESA analyzer: decryption, database materialization, secret-share
 //! recovery and differentially-private release (§3.4).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::Rng;
 
@@ -73,7 +73,9 @@ impl Analyzer {
     pub fn ingest_items(&self, items: &[Vec<u8>]) -> Result<AnalyzerDatabase, PipelineError> {
         let mut db = AnalyzerDatabase::default();
         // Secret-shared values grouped by their deterministic ciphertext.
-        let mut groups: HashMap<Vec<u8>, (Vec<shamir::Share>, usize)> = HashMap::new();
+        // BTreeMap so recovered rows land in a deterministic order
+        // regardless of the process's hash seed.
+        let mut groups: BTreeMap<Vec<u8>, (Vec<shamir::Share>, usize)> = BTreeMap::new();
 
         for item in items {
             let payload = match HybridCiphertext::from_bytes(item)
@@ -193,10 +195,18 @@ impl AnalyzerDatabase {
     pub fn dp_histogram<R: Rng + ?Sized>(&self, epsilon: f64, rng: &mut R) -> Vec<(Vec<u8>, f64)> {
         assert!(epsilon > 0.0, "epsilon must be positive");
         let noise = Laplace::new(0.0, 1.0 / epsilon);
-        let mut out: Vec<(Vec<u8>, f64)> = self
+        // Sort values before drawing noise: the histogram iterates in
+        // process-random HashMap order, and pairing draws with entries in
+        // that order would make seeded releases irreproducible.
+        let mut entries: Vec<(Vec<u8>, u64)> = self
             .histogram
             .iter()
-            .map(|(value, count)| (value.clone(), count as f64 + noise.sample(rng)))
+            .map(|(value, count)| (value.clone(), count))
+            .collect();
+        entries.sort();
+        let mut out: Vec<(Vec<u8>, f64)> = entries
+            .into_iter()
+            .map(|(value, count)| (value, count as f64 + noise.sample(rng)))
             .collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite noise"));
         out
@@ -356,9 +366,8 @@ mod tests {
     #[test]
     fn dp_release_is_noisy_but_close() {
         let mut rng = StdRng::seed_from_u64(6);
-        let values: Vec<&[u8]> = std::iter::repeat(b"popular" as &[u8])
-            .take(1000)
-            .chain(std::iter::repeat(b"minor" as &[u8]).take(50))
+        let values: Vec<&[u8]> = std::iter::repeat_n(b"popular" as &[u8], 1000)
+            .chain(std::iter::repeat_n(b"minor" as &[u8], 50))
             .collect();
         let (analyzer, items) = inner_items(&values, None, &mut rng);
         let db = analyzer.ingest_items(&items).unwrap();

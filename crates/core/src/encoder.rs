@@ -108,11 +108,13 @@ impl Encoder {
             CrowdStrategy::None => CrowdId::None,
             CrowdStrategy::Hash(label) => CrowdId::hashed(label),
             CrowdStrategy::Blind(label) => {
-                let pk = self.keys.crowd_blinding.as_ref().ok_or(
-                    PipelineError::InvalidConfig(
+                let pk = self
+                    .keys
+                    .crowd_blinding
+                    .as_ref()
+                    .ok_or(PipelineError::InvalidConfig(
                         "blinded crowd IDs require the split-shuffler El Gamal key",
-                    ),
-                )?;
+                    ))?;
                 CrowdId::Blinded(Box::new(ElGamalCiphertext::encrypt_hashed(rng, pk, label)))
             }
         };
@@ -139,7 +141,8 @@ impl Encoder {
 /// pair is reported independently so no single report links a user's full
 /// set.
 pub fn fragment_pairs<T: Clone>(items: &[T]) -> Vec<(T, T)> {
-    let mut pairs = Vec::with_capacity(items.len().saturating_mul(items.len().saturating_sub(1)) / 2);
+    let mut pairs =
+        Vec::with_capacity(items.len().saturating_mul(items.len().saturating_sub(1)) / 2);
     for i in 0..items.len() {
         for j in (i + 1)..items.len() {
             pairs.push((items[i].clone(), items[j].clone()));
@@ -239,7 +242,12 @@ mod tests {
         let (client_keys, shuffler, analyzer) = keys(&mut rng);
         let encoder = Encoder::new(client_keys, 64);
         let report = encoder
-            .encode_plain(b"www.example.com", CrowdStrategy::Hash(b"crowd-A"), 7, &mut rng)
+            .encode_plain(
+                b"www.example.com",
+                CrowdStrategy::Hash(b"crowd-A"),
+                7,
+                &mut rng,
+            )
             .unwrap();
 
         // Shuffler peels the outer layer and sees the crowd ID but not data.
@@ -252,7 +260,10 @@ mod tests {
         let payload_bytes = inner.open(analyzer.secret(), ANALYZER_AAD).unwrap();
         match AnalyzerPayload::from_bytes(&payload_bytes).unwrap() {
             AnalyzerPayload::Plain(padded) => {
-                assert_eq!(crate::wire::unpad_payload(&padded).unwrap(), b"www.example.com");
+                assert_eq!(
+                    crate::wire::unpad_payload(&padded).unwrap(),
+                    b"www.example.com"
+                );
             }
             other => panic!("unexpected payload {other:?}"),
         }
@@ -292,7 +303,12 @@ mod tests {
             .encode_plain(b"a", CrowdStrategy::Hash(b"c"), 0, &mut rng)
             .unwrap();
         let b = encoder
-            .encode_plain(b"a much longer string of data here", CrowdStrategy::Hash(b"c"), 1, &mut rng)
+            .encode_plain(
+                b"a much longer string of data here",
+                CrowdStrategy::Hash(b"c"),
+                1,
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(a.wire_len(), b.wire_len());
     }
@@ -339,8 +355,14 @@ mod tests {
             .unwrap();
         match (open_payload(&r1), open_payload(&r2)) {
             (
-                AnalyzerPayload::SecretShared { ciphertext: c1, share: s1 },
-                AnalyzerPayload::SecretShared { ciphertext: c2, share: s2 },
+                AnalyzerPayload::SecretShared {
+                    ciphertext: c1,
+                    share: s1,
+                },
+                AnalyzerPayload::SecretShared {
+                    ciphertext: c2,
+                    share: s2,
+                },
             ) => {
                 assert_eq!(c1, c2, "same value must give the same MLE ciphertext");
                 assert_ne!(s1, s2, "shares from different clients must differ");

@@ -176,7 +176,12 @@ mod tests {
         for i in 0..6u64 {
             reports.push(
                 encoder
-                    .encode_plain(b"obscure-browser", CrowdStrategy::Hash(b"obscure-browser"), 200 + i, &mut rng)
+                    .encode_plain(
+                        b"obscure-browser",
+                        CrowdStrategy::Hash(b"obscure-browser"),
+                        200 + i,
+                        &mut rng,
+                    )
                     .unwrap(),
             );
         }
@@ -191,8 +196,12 @@ mod tests {
     #[test]
     fn end_to_end_secret_shared_vocabulary() {
         let mut rng = StdRng::seed_from_u64(2);
-        let pipeline = Pipeline::new(ShufflerConfig::default().without_thresholding(), 32, &mut rng)
-            .with_share_threshold(10);
+        let pipeline = Pipeline::new(
+            ShufflerConfig::default().without_thresholding(),
+            32,
+            &mut rng,
+        )
+        .with_share_threshold(10);
         let encoder = pipeline.encoder();
         let mut reports = Vec::new();
         for i in 0..25u64 {
@@ -234,7 +243,12 @@ mod tests {
         for i in 0..5u64 {
             reports.push(
                 encoder
-                    .encode_plain(b"xylograph", CrowdStrategy::Blind(b"xylograph"), 500 + i, &mut rng)
+                    .encode_plain(
+                        b"xylograph",
+                        CrowdStrategy::Blind(b"xylograph"),
+                        500 + i,
+                        &mut rng,
+                    )
                     .unwrap(),
             );
         }
@@ -248,7 +262,11 @@ mod tests {
     #[test]
     fn pipeline_report_combines_stats_and_database() {
         let mut rng = StdRng::seed_from_u64(4);
-        let pipeline = Pipeline::new(ShufflerConfig::default().without_thresholding(), 16, &mut rng);
+        let pipeline = Pipeline::new(
+            ShufflerConfig::default().without_thresholding(),
+            16,
+            &mut rng,
+        );
         let encoder = pipeline.encoder();
         let reports: Vec<_> = (0..10u64)
             .map(|i| {

@@ -200,14 +200,20 @@ impl PrivacyAccountant {
 /// ε-local differential privacy of binary randomized response that reports
 /// the truth with probability `p` (and lies with `1 − p`).
 pub fn randomized_response_epsilon(p_truth: f64) -> f64 {
-    assert!((0.5..1.0).contains(&p_truth), "truth probability must be in [0.5, 1)");
+    assert!(
+        (0.5..1.0).contains(&p_truth),
+        "truth probability must be in [0.5, 1)"
+    );
     (p_truth / (1.0 - p_truth)).ln()
 }
 
 /// ε-local differential privacy of flipping each bit of a bitmap
 /// independently with probability `flip`.
 pub fn bit_flip_epsilon(flip: f64) -> f64 {
-    assert!(flip > 0.0 && flip < 0.5, "flip probability must be in (0, 0.5)");
+    assert!(
+        flip > 0.0 && flip < 0.5,
+        "flip probability must be in (0, 0.5)"
+    );
     ((1.0 - flip) / flip).ln()
 }
 

@@ -15,8 +15,8 @@
 
 use prochlo_crypto::elgamal::ElGamalCiphertext;
 use prochlo_crypto::hybrid::HybridCiphertext;
-use prochlo_crypto::shamir::Share;
 use prochlo_crypto::sha256::sha256;
+use prochlo_crypto::shamir::Share;
 
 use crate::error::PipelineError;
 use crate::wire::{put_bytes, put_u8, Reader};

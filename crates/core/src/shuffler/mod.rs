@@ -3,7 +3,7 @@
 
 pub mod split;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -244,7 +244,10 @@ impl Shuffler {
         rng: &mut R,
     ) -> Result<Vec<ShufflerEnvelope>, PipelineError> {
         // Group indexes by crowd key; `None` bypasses thresholding.
-        let mut groups: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+        // A BTreeMap keeps crowd iteration order deterministic, so the
+        // per-crowd noise draws below are a pure function of the seeded rng
+        // (HashMap order is randomized per process and broke seeded replay).
+        let mut groups: BTreeMap<Vec<u8>, Vec<usize>> = BTreeMap::new();
         let mut bypass: Vec<usize> = Vec::new();
         for (idx, envelope) in envelopes.iter().enumerate() {
             match &envelope.crowd_id {
@@ -260,7 +263,10 @@ impl Shuffler {
         stats.crowds_seen = groups.len();
 
         let drop_dist = if self.config.drop_mean > 0.0 || self.config.drop_sigma > 0.0 {
-            Some(RoundedNormal::new(self.config.drop_mean, self.config.drop_sigma))
+            Some(RoundedNormal::new(
+                self.config.drop_mean,
+                self.config.drop_sigma,
+            ))
         } else {
             None
         };
@@ -393,7 +399,10 @@ mod tests {
         let reports = reports_for_crowd(&encoder, b"c", 3, &mut rng);
         assert!(matches!(
             shuffler.process_batch(&reports, &mut rng),
-            Err(PipelineError::BatchTooSmall { received: 3, minimum: 10 })
+            Err(PipelineError::BatchTooSmall {
+                received: 3,
+                minimum: 10
+            })
         ));
     }
 
@@ -429,7 +438,12 @@ mod tests {
         let reports: Vec<ClientReport> = (0..100)
             .map(|i| {
                 encoder
-                    .encode_plain(format!("item-{i}").as_bytes(), CrowdStrategy::None, i, &mut rng)
+                    .encode_plain(
+                        format!("item-{i}").as_bytes(),
+                        CrowdStrategy::None,
+                        i,
+                        &mut rng,
+                    )
                     .unwrap()
             })
             .collect();

@@ -15,7 +15,7 @@
 //!   guesses against the handles. It shuffles again and forwards the inner
 //!   ciphertexts to the analyzer.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -146,7 +146,10 @@ impl ShufflerTwo {
         };
 
         // Decrypt to handles and group by handle.
-        let mut groups: HashMap<[u8; 32], Vec<usize>> = HashMap::new();
+        // Deterministic iteration order: the per-crowd noise draws below
+        // must be a pure function of the seeded rng (see threshold() in
+        // shuffler/mod.rs for the same fix).
+        let mut groups: BTreeMap<[u8; 32], Vec<usize>> = BTreeMap::new();
         let mut inners: Vec<Vec<u8>> = Vec::with_capacity(records.len());
         for (idx, record) in records.into_iter().enumerate() {
             let handle = self.elgamal.decrypt(&record.blinded_crowd).compress().0;
@@ -156,7 +159,10 @@ impl ShufflerTwo {
         stats.crowds_seen = groups.len();
 
         let drop_dist = if self.config.drop_mean > 0.0 || self.config.drop_sigma > 0.0 {
-            Some(RoundedNormal::new(self.config.drop_mean, self.config.drop_sigma))
+            Some(RoundedNormal::new(
+                self.config.drop_mean,
+                self.config.drop_sigma,
+            ))
         } else {
             None
         };
@@ -275,7 +281,11 @@ mod tests {
         let report = &blinded_reports(&encoder, b"guessable", 1, &mut rng)[0];
         let (blinded, _) = split
             .one
-            .process_batch(std::slice::from_ref(report), split.two.elgamal_public(), &mut rng)
+            .process_batch(
+                std::slice::from_ref(report),
+                split.two.elgamal_public(),
+                &mut rng,
+            )
             .unwrap();
         let handle = split.two.elgamal.decrypt(&blinded[0].blinded_crowd);
         assert_ne!(handle, Point::hash_to_point(b"guessable"));
@@ -304,6 +314,9 @@ mod tests {
         assert!(stats.forwarded > 20);
         let analyzer_obj = crate::analyzer::Analyzer::new(analyzer);
         let db = analyzer_obj.ingest_items(&items).unwrap();
-        assert_eq!(db.histogram().count(&b"hello-world".to_vec()), items.len() as u64);
+        assert_eq!(
+            db.histogram().count(&b"hello-world".to_vec()),
+            items.len() as u64
+        );
     }
 }

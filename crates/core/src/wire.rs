@@ -111,7 +111,9 @@ pub fn unpad_payload(padded: &[u8]) -> Result<Vec<u8>, PipelineError> {
     let mut reader = Reader::new(padded);
     let len = reader.get_u32()? as usize;
     if len > padded.len().saturating_sub(4) {
-        return Err(PipelineError::MalformedReport("padding length out of range"));
+        return Err(PipelineError::MalformedReport(
+            "padding length out of range",
+        ));
     }
     Ok(padded[4..4 + len].to_vec())
 }
@@ -156,7 +158,10 @@ mod tests {
         // Oversize data is rejected.
         assert!(matches!(
             pad_payload(&[0u8; 17], 16),
-            Err(PipelineError::PayloadTooLarge { actual: 17, maximum: 16 })
+            Err(PipelineError::PayloadTooLarge {
+                actual: 17,
+                maximum: 16
+            })
         ));
     }
 

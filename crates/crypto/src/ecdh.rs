@@ -41,7 +41,11 @@ impl std::fmt::Debug for EphemeralSecret {
     }
 }
 
-fn derive_shared(secret: &Scalar, their_public: &PublicKey, info: &[u8]) -> Result<[u8; 32], CryptoError> {
+fn derive_shared(
+    secret: &Scalar,
+    their_public: &PublicKey,
+    info: &[u8],
+) -> Result<[u8; 32], CryptoError> {
     let their_point = their_public.point.decompress()?;
     let shared_point = their_point.mul(secret);
     if shared_point.is_identity() {

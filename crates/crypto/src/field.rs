@@ -156,8 +156,8 @@ impl FieldElement {
     /// Addition in the field.
     pub fn add(&self, other: &FieldElement) -> FieldElement {
         let mut limbs = [0u64; 5];
-        for i in 0..5 {
-            limbs[i] = self.0[i] + other.0[i];
+        for (limb, (a, b)) in limbs.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *limb = a + b;
         }
         let mut fe = FieldElement(limbs);
         fe.weak_reduce();
@@ -203,20 +203,22 @@ impl FieldElement {
         let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
 
         let c0 = m(a[0], b[0]) + m(a[4], b1_19) + m(a[3], b2_19) + m(a[2], b3_19) + m(a[1], b4_19);
-        let mut c1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[4], b2_19) + m(a[3], b3_19) + m(a[2], b4_19);
-        let mut c2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[4], b3_19) + m(a[3], b4_19);
+        let mut c1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + m(a[4], b2_19) + m(a[3], b3_19) + m(a[2], b4_19);
+        let mut c2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[4], b3_19) + m(a[3], b4_19);
         let mut c3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
         let mut c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
 
         // Carry propagation.
         let mut out = [0u64; 5];
-        c1 += (c0 >> 51) as u128;
+        c1 += c0 >> 51;
         out[0] = (c0 as u64) & LOW_51_BIT_MASK;
-        c2 += (c1 >> 51) as u128;
+        c2 += c1 >> 51;
         out[1] = (c1 as u64) & LOW_51_BIT_MASK;
-        c3 += (c2 >> 51) as u128;
+        c3 += c2 >> 51;
         out[2] = (c2 as u64) & LOW_51_BIT_MASK;
-        c4 += (c3 >> 51) as u128;
+        c4 += c3 >> 51;
         out[3] = (c3 as u64) & LOW_51_BIT_MASK;
         let carry = (c4 >> 51) as u64;
         out[4] = (c4 as u64) & LOW_51_BIT_MASK;

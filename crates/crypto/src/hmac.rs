@@ -93,7 +93,10 @@ mod tests {
     fn long_key_is_hashed_first() {
         // RFC 4231 test case 6: 131-byte key.
         let key = [0xaau8; 131];
-        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             to_hex(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -102,7 +105,10 @@ mod tests {
 
     #[test]
     fn incremental_matches_one_shot() {
-        let tag1 = HmacSha256::new(b"key").update(b"hello ").update(b"world").finalize();
+        let tag1 = HmacSha256::new(b"key")
+            .update(b"hello ")
+            .update(b"world")
+            .finalize();
         let tag2 = hmac_sha256(b"key", b"hello world");
         assert_eq!(tag1, tag2);
     }

@@ -216,8 +216,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let recipient = HybridKeypair::generate(&mut rng);
         let plaintext = vec![0u8; 100];
-        let ct =
-            HybridCiphertext::seal(&mut rng, recipient.public_key(), b"", &plaintext).unwrap();
+        let ct = HybridCiphertext::seal(&mut rng, recipient.public_key(), b"", &plaintext).unwrap();
         assert_eq!(
             ct.wire_len(),
             plaintext.len() + HybridCiphertext::layer_overhead()

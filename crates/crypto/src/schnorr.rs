@@ -69,7 +69,8 @@ impl SigningKey {
     /// Signs a message. The nonce is derived deterministically from the key
     /// and the message (no RNG misuse possible).
     pub fn sign(&self, message: &[u8]) -> Signature {
-        let nonce = Scalar::hash_from_bytes(&[b"prochlo-schnorr-nonce", &self.secret.to_bytes(), message]);
+        let nonce =
+            Scalar::hash_from_bytes(&[b"prochlo-schnorr-nonce", &self.secret.to_bytes(), message]);
         let r_point = Point::mul_base(&nonce).compress();
         let c = challenge(&r_point, &self.public.compress(), message);
         let s = nonce.add(&c.mul(&self.secret));

@@ -20,7 +20,7 @@ fn first_primes(n: usize) -> Vec<u128> {
     let mut primes = Vec::with_capacity(n);
     let mut candidate: u128 = 2;
     while primes.len() < n {
-        if primes.iter().all(|&p| candidate % p != 0) {
+        if primes.iter().all(|&p| !candidate.is_multiple_of(p)) {
             primes.push(candidate);
         }
         candidate += 1;

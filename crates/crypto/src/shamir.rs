@@ -84,7 +84,12 @@ pub fn secret_to_field(secret: &[u8; 32]) -> FieldElement {
 }
 
 /// Evaluates the secret's polynomial of degree `threshold - 1` at `x`.
-fn evaluate(secret: &FieldElement, secret_bytes: &[u8; 32], threshold: usize, x: &FieldElement) -> FieldElement {
+fn evaluate(
+    secret: &FieldElement,
+    secret_bytes: &[u8; 32],
+    threshold: usize,
+    x: &FieldElement,
+) -> FieldElement {
     // P(x) = secret + a_1 x + a_2 x^2 + ... + a_{t-1} x^{t-1}, Horner form.
     let mut acc = FieldElement::ZERO;
     for i in (1..threshold).rev() {
@@ -276,7 +281,9 @@ mod tests {
         // The Vocab experiment uses t = 20 matching the crowd threshold.
         let mut rng = StdRng::seed_from_u64(7);
         let secret = secret_from(20);
-        let shares: Vec<Share> = (0..20).map(|_| share_secret(&secret, 20, &mut rng)).collect();
+        let shares: Vec<Share> = (0..20)
+            .map(|_| share_secret(&secret, 20, &mut rng))
+            .collect();
         assert_eq!(recover_secret(&shares, 20).unwrap(), secret);
         assert!(recover_secret(&shares[..19], 20).is_err());
     }

@@ -213,7 +213,10 @@ mod tests {
         let events = generator.sample_n(50_000, &mut rng);
         let top_page = events.iter().filter(|e| e.page == 0).count();
         let tail_page = events.iter().filter(|e| e.page == 9_000).count();
-        assert!(top_page > 20 * (tail_page + 1), "top {top_page} tail {tail_page}");
+        assert!(
+            top_page > 20 * (tail_page + 1),
+            "top {top_page} tail {tail_page}"
+        );
     }
 
     #[test]

@@ -96,7 +96,8 @@ impl RatingsGenerator {
     pub fn affinity(&self, user: u32, movie: u32) -> f64 {
         let mut dot = 0.0;
         for dim in 0..self.config.factors {
-            dot += self.factor(b"user-factor", user, dim) * self.factor(b"movie-factor", movie, dim);
+            dot +=
+                self.factor(b"user-factor", user, dim) * self.factor(b"movie-factor", movie, dim);
         }
         3.0 + 1.8 * dot
     }

@@ -67,7 +67,7 @@ impl ViewGenerator {
         (0..self.config.related_per_video)
             .map(|slot| {
                 let digest = prochlo_crypto::sha256::sha256_concat(&[
-                    b"related-video",
+                    b"related-video" as &[u8],
                     &(video as u64).to_le_bytes(),
                     &(slot as u64).to_le_bytes(),
                 ]);

@@ -120,6 +120,9 @@ mod tests {
         let corpus = VocabCorpus::figure5_default();
         let mut a = StdRng::seed_from_u64(3);
         let mut b = StdRng::seed_from_u64(3);
-        assert_eq!(corpus.sample_ids(1_000, &mut a), corpus.sample_ids(1_000, &mut b));
+        assert_eq!(
+            corpus.sample_ids(1_000, &mut a),
+            corpus.sample_ids(1_000, &mut b)
+        );
     }
 }

@@ -27,7 +27,9 @@ impl PartitionedRappor {
         assert!(partitions >= 1, "need at least one partition");
         Self {
             params,
-            partitions: (0..partitions).map(|_| RapporAggregate::new(params)).collect(),
+            partitions: (0..partitions)
+                .map(|_| RapporAggregate::new(params))
+                .collect(),
         }
     }
 

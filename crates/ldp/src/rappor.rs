@@ -215,7 +215,10 @@ mod tests {
         let names: Vec<&[u8]> = recovered.iter().map(|(c, _)| *c).collect();
         assert!(names.contains(&word(0).as_slice()));
         assert!(names.contains(&word(1).as_slice()));
-        assert!(!names.contains(&word(2).as_slice()), "rare word below noise floor");
+        assert!(
+            !names.contains(&word(2).as_slice()),
+            "rare word below noise floor"
+        );
         // Estimates should be in the right ballpark for the popular words.
         let est0 = recovered
             .iter()

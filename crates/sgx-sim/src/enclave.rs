@@ -244,11 +244,7 @@ impl Enclave {
 
     /// Runs a closure with `bytes` of private memory charged for its
     /// duration, releasing it afterwards even if the closure fails.
-    pub fn with_private<T>(
-        &self,
-        bytes: usize,
-        f: impl FnOnce() -> T,
-    ) -> Result<T, EnclaveError> {
+    pub fn with_private<T>(&self, bytes: usize, f: impl FnOnce() -> T) -> Result<T, EnclaveError> {
         self.charge_private(bytes)?;
         let result = f();
         self.release_private(bytes)

@@ -135,12 +135,7 @@ impl ShuffleCostModel for BatcherCostModel {
         "Batcher sort"
     }
 
-    fn cost(
-        &self,
-        records: usize,
-        record_bytes: usize,
-        private_memory_bytes: usize,
-    ) -> CostReport {
+    fn cost(&self, records: usize, record_bytes: usize, private_memory_bytes: usize) -> CostReport {
         let b = Self::bucket_records(record_bytes, private_memory_bytes);
         if records == 0 {
             return CostReport::new(self.name(), 0, record_bytes, 0, None, 0);
@@ -248,10 +243,18 @@ mod tests {
         let epc = prochlo_sgx::DEFAULT_EPC_BYTES;
         // 10M 318-byte records: the paper reports 49x.
         let r10 = model.cost(10_000_000, 318, epc);
-        assert!((r10.overhead_factor - 49.0).abs() < 1.0, "{}", r10.overhead_factor);
+        assert!(
+            (r10.overhead_factor - 49.0).abs() < 1.0,
+            "{}",
+            r10.overhead_factor
+        );
         // 100M records: the paper reports 100x.
         let r100 = model.cost(100_000_000, 318, epc);
-        assert!((r100.overhead_factor - 100.0).abs() < 1.0, "{}", r100.overhead_factor);
+        assert!(
+            (r100.overhead_factor - 100.0).abs() < 1.0,
+            "{}",
+            r100.overhead_factor
+        );
         assert!(r10.feasible && r100.feasible);
     }
 

@@ -68,11 +68,17 @@ impl CascadeMixShuffle {
             for b in 0..bucket_count {
                 let start = b * bucket;
                 let end = ((b + 1) * bucket).min(n);
-                self.enclave
-                    .copy_in("cascade-read-bucket", round * bucket_count + b, (end - start) * record_len);
+                self.enclave.copy_in(
+                    "cascade-read-bucket",
+                    round * bucket_count + b,
+                    (end - start) * record_len,
+                );
                 current[start..end].shuffle(rng);
-                self.enclave
-                    .copy_out("cascade-write-bucket", round * bucket_count + b, (end - start) * record_len);
+                self.enclave.copy_out(
+                    "cascade-write-bucket",
+                    round * bucket_count + b,
+                    (end - start) * record_len,
+                );
             }
             self.enclave
                 .release_private(bucket * record_len)
@@ -123,7 +129,12 @@ impl CascadeCostModel {
     /// both with 318-byte records and ε = 2⁻⁶⁴):
     /// `rounds ≈ c · (security_bits + 2·log₂N) / log₂(#buckets)` with c such
     /// that the 10 M point matches.
-    pub fn rounds(&self, records: usize, record_bytes: usize, private_memory_bytes: usize) -> usize {
+    pub fn rounds(
+        &self,
+        records: usize,
+        record_bytes: usize,
+        private_memory_bytes: usize,
+    ) -> usize {
         if records < 2 {
             return 1;
         }
@@ -150,12 +161,7 @@ impl ShuffleCostModel for CascadeCostModel {
         "Cascade mix network"
     }
 
-    fn cost(
-        &self,
-        records: usize,
-        record_bytes: usize,
-        private_memory_bytes: usize,
-    ) -> CostReport {
+    fn cost(&self, records: usize, record_bytes: usize, private_memory_bytes: usize) -> CostReport {
         let rounds = self.rounds(records, record_bytes, private_memory_bytes);
         let bytes = (records as u128) * (record_bytes as u128) * rounds as u128;
         CostReport::new(self.name(), records, record_bytes, bytes, None, rounds)
@@ -231,12 +237,23 @@ mod tests {
         let r100 = model.cost(100_000_000, 318, epc);
         // Calibrated to the 10M point; the 100M point should land within ~20%
         // of the paper's 87x (see DESIGN.md on this approximation).
-        assert!((r10.overhead_factor - 114.0).abs() < 8.0, "{}", r10.overhead_factor);
-        assert!((r100.overhead_factor - 87.0).abs() < 18.0, "{}", r100.overhead_factor);
+        assert!(
+            (r10.overhead_factor - 114.0).abs() < 8.0,
+            "{}",
+            r10.overhead_factor
+        );
+        assert!(
+            (r100.overhead_factor - 87.0).abs() < 18.0,
+            "{}",
+            r100.overhead_factor
+        );
         // More data with the same bucket size means more buckets and fewer
         // rounds needed per the bound's shape.
         assert!(r100.rounds < r10.rounds);
-        assert_eq!(CascadeCostModel::paper_reported_overhead(10_000_000), Some(114.0));
+        assert_eq!(
+            CascadeCostModel::paper_reported_overhead(10_000_000),
+            Some(114.0)
+        );
         assert_eq!(CascadeCostModel::paper_reported_overhead(77), None);
     }
 

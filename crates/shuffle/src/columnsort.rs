@@ -42,12 +42,7 @@ impl ShuffleCostModel for ColumnSortCostModel {
         "ColumnSort (Opaque)"
     }
 
-    fn cost(
-        &self,
-        records: usize,
-        record_bytes: usize,
-        private_memory_bytes: usize,
-    ) -> CostReport {
+    fn cost(&self, records: usize, record_bytes: usize, private_memory_bytes: usize) -> CostReport {
         // Eight passes over the data, independent of problem size.
         let rounds = 8usize;
         let bytes = (records as u128) * (record_bytes as u128) * rounds as u128;

@@ -46,7 +46,7 @@ impl CostReport {
         } else {
             bytes_processed as f64 / dataset as f64
         };
-        let feasible = max_records.map_or(true, |m| records <= m);
+        let feasible = max_records.is_none_or(|m| records <= m);
         Self {
             algorithm,
             records,
@@ -69,8 +69,7 @@ pub trait ShuffleCostModel {
 
     /// Cost of shuffling `records` items of `record_bytes` bytes each with
     /// `private_memory_bytes` of enclave memory.
-    fn cost(&self, records: usize, record_bytes: usize, private_memory_bytes: usize)
-        -> CostReport;
+    fn cost(&self, records: usize, record_bytes: usize, private_memory_bytes: usize) -> CostReport;
 }
 
 #[cfg(test)]

@@ -69,7 +69,9 @@ mod tests {
 
     #[test]
     fn display_strings_are_informative() {
-        assert!(ShuffleError::NonUniformRecords.to_string().contains("same length"));
+        assert!(ShuffleError::NonUniformRecords
+            .to_string()
+            .contains("same length"));
         assert!(ShuffleError::StashOverflow { attempts: 3 }
             .to_string()
             .contains('3'));

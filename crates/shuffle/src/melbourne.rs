@@ -24,6 +24,10 @@ use crate::{uniform_record_len, Records};
 /// Bytes of private memory needed per record just to store the permutation.
 pub const PERMUTATION_BYTES_PER_RECORD: usize = 8;
 
+/// One distribution-phase slot: `None` is a dummy, `Some((target, record))`
+/// a real record tagged with its final position.
+type Slot = Option<(usize, Vec<u8>)>;
+
 /// A runnable Melbourne Shuffle.
 #[derive(Debug, Clone)]
 pub struct MelbourneShuffle {
@@ -111,7 +115,7 @@ impl MelbourneShuffle {
 
         // Phase 1: distribution. Intermediate array indexed
         // [output bucket][input bucket * cap + slot]; None is a dummy.
-        let mut intermediate: Vec<Vec<Option<(usize, Vec<u8>)>>> =
+        let mut intermediate: Vec<Vec<Slot>> =
             vec![Vec::with_capacity(bucket_count * cap); bucket_count];
 
         for in_bucket in 0..bucket_count {
@@ -121,16 +125,16 @@ impl MelbourneShuffle {
                 // Keep the access pattern shape: write dummy chunks anyway.
                 for (out_bucket, slots) in intermediate.iter_mut().enumerate() {
                     slots.extend(std::iter::repeat_with(|| None).take(cap));
-                    self.enclave.copy_out(
-                        "melbourne-write-chunk",
-                        out_bucket,
-                        cap * record_len,
-                    );
+                    self.enclave
+                        .copy_out("melbourne-write-chunk", out_bucket, cap * record_len);
                 }
                 continue;
             }
-            self.enclave
-                .copy_in("melbourne-read-bucket", in_bucket, (end - start) * record_len);
+            self.enclave.copy_in(
+                "melbourne-read-bucket",
+                in_bucket,
+                (end - start) * record_len,
+            );
 
             // Group this bucket's records by their destination bucket.
             let mut per_out: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); bucket_count];
@@ -143,8 +147,7 @@ impl MelbourneShuffle {
                 if items.len() > cap {
                     return None; // Overflow: retry with a fresh permutation.
                 }
-                let mut slots: Vec<Option<(usize, Vec<u8>)>> =
-                    items.drain(..).map(Some).collect();
+                let mut slots: Vec<Option<(usize, Vec<u8>)>> = items.drain(..).map(Some).collect();
                 slots.resize_with(cap, || None);
                 intermediate[out_bucket].extend(slots);
                 self.enclave
@@ -170,7 +173,12 @@ impl MelbourneShuffle {
             self.enclave
                 .copy_out("melbourne-write-output", out_bucket, bytes);
         }
-        Some(output.into_iter().map(|r| r.expect("every slot filled")).collect())
+        Some(
+            output
+                .into_iter()
+                .map(|r| r.expect("every slot filled"))
+                .collect(),
+        )
     }
 }
 
@@ -183,12 +191,7 @@ impl ShuffleCostModel for MelbourneCostModel {
         "Melbourne Shuffle"
     }
 
-    fn cost(
-        &self,
-        records: usize,
-        record_bytes: usize,
-        private_memory_bytes: usize,
-    ) -> CostReport {
+    fn cost(&self, records: usize, record_bytes: usize, private_memory_bytes: usize) -> CostReport {
         // Four embarrassingly parallel rounds (paper §4.1.4 discussion), each
         // touching the whole dataset once.
         let rounds = 4usize;
@@ -253,7 +256,10 @@ mod tests {
         let result = shuffler(4_000).shuffle(&input, &mut rng);
         assert!(matches!(
             result,
-            Err(ShuffleError::ProblemTooLarge { requested: 1000, maximum: 500 })
+            Err(ShuffleError::ProblemTooLarge {
+                requested: 1000,
+                maximum: 500
+            })
         ));
     }
 

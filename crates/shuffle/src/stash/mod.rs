@@ -364,8 +364,8 @@ impl StashShuffle {
         let effective_window = w.min(b);
 
         let import = |bucket_idx: usize,
-                          queue: &mut VecDeque<Vec<u8>>,
-                          rng: &mut R|
+                      queue: &mut VecDeque<Vec<u8>>,
+                      rng: &mut R|
          -> Result<(), AttemptFailure> {
             let slots = &mid[bucket_idx];
             self.enclave.copy_in(
@@ -396,9 +396,9 @@ impl StashShuffle {
         };
 
         let drain = |bucket_idx: usize,
-                         queue: &mut VecDeque<Vec<u8>>,
-                         output: &mut Records,
-                         allow_partial: bool|
+                     queue: &mut VecDeque<Vec<u8>>,
+                     output: &mut Records,
+                     allow_partial: bool|
          -> Result<(), AttemptFailure> {
             let want = d.min(n - output.len());
             if queue.len() < want && !allow_partial {
@@ -412,7 +412,8 @@ impl StashShuffle {
                 bytes += item.len();
                 output.push(item);
             }
-            self.enclave.copy_out("write-output-bucket", bucket_idx, bytes);
+            self.enclave
+                .copy_out("write-output-bucket", bucket_idx, bytes);
             Ok(())
         };
 
@@ -421,7 +422,12 @@ impl StashShuffle {
                 import(bucket_idx, &mut queue, rng)?;
             }
             for bucket_idx in effective_window..b {
-                drain(bucket_idx - effective_window, &mut queue, &mut output, false)?;
+                drain(
+                    bucket_idx - effective_window,
+                    &mut queue,
+                    &mut output,
+                    false,
+                )?;
                 import(bucket_idx, &mut queue, rng)?;
             }
             for bucket_idx in (b - effective_window)..b {
@@ -468,8 +474,8 @@ fn shuffle_to_buckets<R: Rng + ?Sized>(items: usize, buckets: usize, rng: &mut R
     }
     // true = record, false = separator.
     let mut symbols: Vec<bool> = Vec::with_capacity(items + buckets - 1);
-    symbols.extend(std::iter::repeat(true).take(items));
-    symbols.extend(std::iter::repeat(false).take(buckets - 1));
+    symbols.extend(std::iter::repeat_n(true, items));
+    symbols.extend(std::iter::repeat_n(false, buckets - 1));
     symbols.shuffle(rng);
     let mut targets_in_order = Vec::with_capacity(items);
     let mut current_bucket = 0usize;
@@ -574,7 +580,9 @@ mod tests {
     fn shuffle_is_a_permutation() {
         let mut rng = StdRng::seed_from_u64(1);
         let input = records(2_000, 32);
-        let out = test_shuffler(input.len()).shuffle(&input, &mut rng).unwrap();
+        let out = test_shuffler(input.len())
+            .shuffle(&input, &mut rng)
+            .unwrap();
         assert_eq!(out.records.len(), input.len());
         let in_set: HashSet<_> = input.iter().cloned().collect();
         let out_set: HashSet<_> = out.records.iter().cloned().collect();
@@ -585,8 +593,13 @@ mod tests {
     fn shuffle_changes_order() {
         let mut rng = StdRng::seed_from_u64(2);
         let input = records(1_000, 16);
-        let out = test_shuffler(input.len()).shuffle(&input, &mut rng).unwrap();
-        assert_ne!(out.records, input, "order should change with overwhelming probability");
+        let out = test_shuffler(input.len())
+            .shuffle(&input, &mut rng)
+            .unwrap();
+        assert_ne!(
+            out.records, input,
+            "order should change with overwhelming probability"
+        );
     }
 
     #[test]
@@ -773,7 +786,10 @@ mod tests {
         assert_eq!(targets.len(), 10_000);
         assert!(targets.iter().all(|&t| t < 16));
         let distinct: HashSet<_> = targets.iter().collect();
-        assert!(distinct.len() > 10, "with 10k items nearly all buckets get hit");
+        assert!(
+            distinct.len() > 10,
+            "with 10k items nearly all buckets get hit"
+        );
         // Single bucket edge case.
         assert_eq!(shuffle_to_buckets(5, 1, &mut rng), vec![0; 5]);
     }

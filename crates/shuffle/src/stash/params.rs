@@ -249,15 +249,19 @@ mod tests {
             .iter()
             .zip(paper_mb.iter())
         {
-            let modeled =
-                scenario.params.modeled_private_memory(scenario.records, 318) as f64 / 1e6;
+            let modeled = scenario
+                .params
+                .modeled_private_memory(scenario.records, 318) as f64
+                / 1e6;
             assert!(
                 modeled > expected * 0.4 && modeled < expected * 2.5,
                 "modeled {modeled:.0} MB vs paper {expected} MB"
             );
             // And every scenario must fit the 92 MB enclave.
             assert!(
-                scenario.params.modeled_private_memory(scenario.records, 318)
+                scenario
+                    .params
+                    .modeled_private_memory(scenario.records, 318)
                     < prochlo_sgx::DEFAULT_EPC_BYTES
             );
         }

@@ -17,7 +17,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const APIS: &[&str] = &[
-    "open", "read", "write", "mmap", "ioctl", "fork", "gettimeofday", "legacy_sysctl",
+    "open",
+    "read",
+    "write",
+    "mmap",
+    "ioctl",
+    "fork",
+    "gettimeofday",
+    "legacy_sysctl",
 ];
 
 fn main() {
@@ -87,7 +94,9 @@ fn main() {
         .iter()
         .map(|(value, count)| (String::from_utf8_lossy(value).into_owned(), count))
         .collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    // Tie-break equal counts by name so the printout is stable across
+    // runs (HashMap iteration order is process-random).
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     for (fragment, count) in rows.iter().take(12) {
         println!("  {fragment:>28}: {count}");
     }
@@ -99,6 +108,8 @@ fn main() {
     println!("\nreports still using legacy_sysctl: {legacy_users}");
     println!(
         "reports mentioning the secret 'shadow-tool': {}",
-        rows.iter().filter(|(f, _)| f.starts_with("shadow-tool")).count()
+        rows.iter()
+            .filter(|(f, _)| f.starts_with("shadow-tool"))
+            .count()
     );
 }

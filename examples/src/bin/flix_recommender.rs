@@ -57,7 +57,11 @@ fn main() {
 
     let rmse_plain = plain.evaluate_rmse(test);
     let rmse_prochlo = prochlo.evaluate_rmse(test);
-    println!("\nitem pairs retained: {} (plain) vs {} (prochlo, after thresholding)", plain.pairs(), prochlo.pairs());
+    println!(
+        "\nitem pairs retained: {} (plain) vs {} (prochlo, after thresholding)",
+        plain.pairs(),
+        prochlo.pairs()
+    );
     println!("RMSE without privacy:  {rmse_plain:.4}");
     println!("RMSE with Prochlo:     {rmse_prochlo:.4}");
     println!("difference:            {:+.4}", rmse_prochlo - rmse_plain);

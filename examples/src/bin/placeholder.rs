@@ -1,1 +1,3 @@
-fn main() { println!("see src/bin for examples"); }
+fn main() {
+    println!("see src/bin for examples");
+}

@@ -1,72 +1,48 @@
-//! Quickstart: a complete Encode–Shuffle–Analyze round trip in ~50 lines.
+//! Quickstart: a complete Encode–Shuffle–Analyze round trip.
 //!
 //! A thousand clients report which web browser they use; the shuffler
 //! anonymizes, thresholds and shuffles the batch; the analyzer materializes a
-//! histogram and releases it with differential privacy.
+//! histogram and releases it with differential privacy. The pipeline itself
+//! lives in [`prochlo_examples::run_quickstart`] so the workspace smoke test
+//! exercises the same path.
 //!
 //! Run with: `cargo run -p prochlo-examples --release --bin quickstart`
 
-use prochlo_core::encoder::CrowdStrategy;
-use prochlo_core::{Pipeline, ShufflerConfig};
+use prochlo_examples::{run_quickstart, QUICKSTART_BROWSERS};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(42);
-
-    // 1. Stand up the pipeline: a shuffler (threshold 20, Gaussian noise) and
-    //    an analyzer, each with their own keypair.
-    let pipeline = Pipeline::new(ShufflerConfig::default(), 32, &mut rng);
-    let encoder = pipeline.encoder();
-
-    // 2. Clients encode their reports with nested encryption. The crowd ID is
-    //    a hash of the reported value, so rare values never reach the
-    //    analyzer at all.
-    let browsers = ["chrome", "firefox", "safari", "edge", "netscape-4.7"];
-    let weights = [600, 250, 100, 48, 2];
-    let mut reports = Vec::new();
-    let mut client = 0u64;
-    for (browser, &count) in browsers.iter().zip(&weights) {
-        for _ in 0..count {
-            let jitter: u64 = rng.gen_range(0..1_000_000);
-            reports.push(
-                encoder
-                    .encode_plain(
-                        browser.as_bytes(),
-                        CrowdStrategy::Hash(browser.as_bytes()),
-                        client + jitter,
-                        &mut rng,
-                    )
-                    .expect("encode"),
-            );
-            client += 1;
-        }
-    }
-    println!("encoded {} client reports ({} bytes each on the wire)", reports.len(), reports[0].wire_len());
-
-    // 3. The shuffler strips metadata, applies randomized thresholding and
-    //    shuffles; the analyzer decrypts and builds the histogram.
-    let result = pipeline.run_batch(&reports, &mut rng).expect("pipeline run");
+    let result = run_quickstart(42);
     let stats = &result.shuffler_stats;
     println!(
         "shuffler: received {}, forwarded {}, dropped {} below threshold, {} as noise",
         stats.received, stats.forwarded, stats.dropped_threshold, stats.dropped_noise
     );
 
-    // 4. Exact counts are available to the analyzer...
+    // Exact counts are available to the analyzer...
     println!("\nanalyzer database:");
-    for browser in browsers {
-        println!("  {:>14}: {}", browser, result.database.count(browser.as_bytes()));
+    for (browser, _) in QUICKSTART_BROWSERS {
+        println!(
+            "  {:>14}: {}",
+            browser,
+            result.database.count(browser.as_bytes())
+        );
     }
 
-    // 5. ...and a differentially-private release can be published.
+    // ...and a differentially-private release can be published.
+    let mut rng = StdRng::seed_from_u64(43);
     println!("\ndifferentially-private release (epsilon = 1):");
     for (value, noisy_count) in result.database.dp_histogram(1.0, &mut rng) {
-        println!("  {:>14}: {:.1}", String::from_utf8_lossy(&value), noisy_count);
+        println!(
+            "  {:>14}: {:.1}",
+            String::from_utf8_lossy(&value),
+            noisy_count
+        );
     }
     println!(
         "\nnote: 'netscape-4.7' was reported by only {} users — below the crowd \
          threshold — so it never reached the analyzer.",
-        weights[4]
+        QUICKSTART_BROWSERS[4].1
     );
 }

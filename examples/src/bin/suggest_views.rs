@@ -47,6 +47,10 @@ fn main() {
         "fragment model retains {:.0}% of the non-private accuracy and predicts \
          correctly {} than 1 time in 8",
         100.0 * fragment_accuracy / full_accuracy,
-        if fragment_accuracy > 0.125 { "better" } else { "worse" }
+        if fragment_accuracy > 0.125 {
+            "better"
+        } else {
+            "worse"
+        }
     );
 }

@@ -19,7 +19,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2024);
     let clients = 3_000usize;
 
-    let pipeline = SplitPipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(20);
+    let pipeline =
+        SplitPipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(20);
     let encoder = pipeline.encoder();
     let corpus = VocabCorpus::new(5_000, 1.05);
 

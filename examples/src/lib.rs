@@ -1,1 +1,57 @@
 //! Shared helpers for the runnable examples in `src/bin/`.
+//!
+//! The quickstart pipeline lives here (rather than only in the binary) so
+//! the workspace smoke test can drive the exact encode→shuffle→analyze path
+//! the example demonstrates.
+
+use prochlo_core::encoder::CrowdStrategy;
+use prochlo_core::{Pipeline, PipelineReport, ShufflerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The browser share reported by the quickstart clients: `(value, clients)`.
+pub const QUICKSTART_BROWSERS: [(&str, u64); 5] = [
+    ("chrome", 600),
+    ("firefox", 250),
+    ("safari", 100),
+    ("edge", 48),
+    ("netscape-4.7", 2),
+];
+
+/// Runs the quickstart ESA round trip: a thousand clients report their web
+/// browser with nested encryption and hashed crowd IDs, the shuffler
+/// thresholds and shuffles the batch, and the analyzer materializes a
+/// histogram. Deterministic given `seed`.
+pub fn run_quickstart(seed: u64) -> PipelineReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // A shuffler (threshold 20, Gaussian noise) and an analyzer, each with
+    // their own keypair; payloads are padded to 32 bytes before encryption.
+    let pipeline = Pipeline::new(ShufflerConfig::default(), 32, &mut rng);
+    let encoder = pipeline.encoder();
+
+    // Clients encode their reports. The crowd ID is a hash of the reported
+    // value, so rare values never reach the analyzer at all.
+    let mut reports = Vec::new();
+    let mut client = 0u64;
+    for (browser, count) in QUICKSTART_BROWSERS {
+        for _ in 0..count {
+            let jitter: u64 = rng.gen_range(0..1_000_000);
+            reports.push(
+                encoder
+                    .encode_plain(
+                        browser.as_bytes(),
+                        CrowdStrategy::Hash(browser.as_bytes()),
+                        client + jitter,
+                        &mut rng,
+                    )
+                    .expect("encode"),
+            );
+            client += 1;
+        }
+    }
+
+    pipeline
+        .run_batch(&reports, &mut rng)
+        .expect("pipeline run")
+}

@@ -30,7 +30,12 @@ fn compromised_shuffler_sees_crowd_ids_but_not_payloads() {
     let (keys, shuffler, _analyzer) = client_keys(&mut rng);
     let encoder = Encoder::new(keys, 64);
     let report = encoder
-        .encode_plain(b"embarrassing-but-common-value", CrowdStrategy::Hash(b"crowd"), 0, &mut rng)
+        .encode_plain(
+            b"embarrassing-but-common-value",
+            CrowdStrategy::Hash(b"crowd"),
+            0,
+            &mut rng,
+        )
         .unwrap();
 
     // The (honest-but-curious) shuffler peels the outer layer...
@@ -49,12 +54,21 @@ fn compromised_analyzer_cannot_link_reports_to_metadata() {
     // pipeline output must contain no transport metadata and no arrival
     // ordering correlation.
     let mut rng = StdRng::seed_from_u64(2);
-    let pipeline = Pipeline::new(ShufflerConfig::default().without_thresholding(), 16, &mut rng);
+    let pipeline = Pipeline::new(
+        ShufflerConfig::default().without_thresholding(),
+        16,
+        &mut rng,
+    );
     let encoder = pipeline.encoder();
     let reports: Vec<_> = (0..300u64)
         .map(|i| {
             encoder
-                .encode_plain(format!("user-value-{i}").as_bytes(), CrowdStrategy::None, i, &mut rng)
+                .encode_plain(
+                    format!("user-value-{i}").as_bytes(),
+                    CrowdStrategy::None,
+                    i,
+                    &mut rng,
+                )
                 .unwrap()
         })
         .collect();
@@ -82,7 +96,13 @@ fn analyzer_cannot_read_secret_shared_values_below_threshold_even_with_shuffler_
     let mut ciphertexts = Vec::new();
     for i in 0..10u64 {
         let report = encoder
-            .encode_secret_shared(b"hard-to-guess-8f3a9c", 20, CrowdStrategy::None, i, &mut rng)
+            .encode_secret_shared(
+                b"hard-to-guess-8f3a9c",
+                20,
+                CrowdStrategy::None,
+                i,
+                &mut rng,
+            )
             .unwrap();
         let envelope_bytes = report.outer.open(shuffler.secret(), SHUFFLER_AAD).unwrap();
         let envelope = ShufflerEnvelope::from_bytes(&envelope_bytes).unwrap();
@@ -119,7 +139,10 @@ fn clients_reject_quotes_from_unknown_enclaves() {
 
     // A verifier that trusts this build accepts and extracts the key.
     let good = QuoteVerifier::new(authority.root_key(), vec![shuffler.enclave().measurement()]);
-    assert_eq!(good.verify(&quote).unwrap(), shuffler.public_key().to_bytes());
+    assert_eq!(
+        good.verify(&quote).unwrap(),
+        shuffler.public_key().to_bytes()
+    );
 
     // A verifier that only trusts some other build refuses to use the key.
     let bad = QuoteVerifier::new(authority.root_key(), vec![[7u8; 32]]);
@@ -147,7 +170,12 @@ fn sybil_crowd_inflation_is_visible_in_stats_but_thresholding_still_applies() {
     for i in 0..40u64 {
         reports.push(
             encoder
-                .encode_plain(b"sybil-target", CrowdStrategy::Hash(b"sybil"), 100 + i, &mut rng)
+                .encode_plain(
+                    b"sybil-target",
+                    CrowdStrategy::Hash(b"sybil"),
+                    100 + i,
+                    &mut rng,
+                )
                 .unwrap(),
         );
     }

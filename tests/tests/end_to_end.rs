@@ -45,7 +45,10 @@ fn vocab_pipeline_recovers_frequent_words_and_hides_rare_ones() {
     // Everything the analyzer sees was genuinely reported.
     for (value, count) in result.database.histogram().iter() {
         let true_count = truth.get(value).copied().unwrap_or(0);
-        assert!(count <= true_count, "value counted more often than reported");
+        assert!(
+            count <= true_count,
+            "value counted more often than reported"
+        );
     }
 }
 
@@ -90,20 +93,33 @@ fn sgx_backend_pipeline_matches_trusted_backend_multiset() {
 #[test]
 fn split_pipeline_blinded_crowds_end_to_end() {
     let mut rng = StdRng::seed_from_u64(3);
-    let pipeline = SplitPipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(5);
+    let pipeline =
+        SplitPipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(5);
     let encoder = pipeline.encoder();
     let mut reports = Vec::new();
     for i in 0..150u64 {
         reports.push(
             encoder
-                .encode_secret_shared(b"popular-url", 5, CrowdStrategy::Blind(b"popular-url"), i, &mut rng)
+                .encode_secret_shared(
+                    b"popular-url",
+                    5,
+                    CrowdStrategy::Blind(b"popular-url"),
+                    i,
+                    &mut rng,
+                )
                 .unwrap(),
         );
     }
     for i in 0..6u64 {
         reports.push(
             encoder
-                .encode_secret_shared(b"secret-url", 5, CrowdStrategy::Blind(b"secret-url"), 1_000 + i, &mut rng)
+                .encode_secret_shared(
+                    b"secret-url",
+                    5,
+                    CrowdStrategy::Blind(b"secret-url"),
+                    1_000 + i,
+                    &mut rng,
+                )
                 .unwrap(),
         );
     }
@@ -115,14 +131,23 @@ fn split_pipeline_blinded_crowds_end_to_end() {
 #[test]
 fn multiple_batches_merge_into_one_database() {
     let mut rng = StdRng::seed_from_u64(4);
-    let pipeline = Pipeline::new(ShufflerConfig::default().without_thresholding(), 16, &mut rng);
+    let pipeline = Pipeline::new(
+        ShufflerConfig::default().without_thresholding(),
+        16,
+        &mut rng,
+    );
     let encoder = pipeline.encoder();
     let mut merged = None;
     for day in 0..3u64 {
         let reports: Vec<_> = (0..50u64)
             .map(|i| {
                 encoder
-                    .encode_plain(b"daily-metric", CrowdStrategy::None, day * 100 + i, &mut rng)
+                    .encode_plain(
+                        b"daily-metric",
+                        CrowdStrategy::None,
+                        day * 100 + i,
+                        &mut rng,
+                    )
                     .unwrap()
             })
             .collect();

@@ -1,10 +1,10 @@
 //! Cross-crate obliviousness and correctness properties of the shuffling
 //! layer, including property-based tests over input sizes and parameters.
 
-use proptest::prelude::*;
 use prochlo_sgx::{Enclave, EnclaveConfig};
 use prochlo_shuffle::batcher::BatcherShuffle;
 use prochlo_shuffle::{StashShuffle, StashShuffleParams};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -33,7 +33,8 @@ fn stash_shuffle_trace_is_identical_for_different_data() {
     // with different contents but the same shape must be indistinguishable.
     let run = |tag: u8| {
         let input = records(1_200, 40, tag);
-        let shuffler = StashShuffle::new(StashShuffleParams::derive(input.len()), tracing_enclave());
+        let shuffler =
+            StashShuffle::new(StashShuffleParams::derive(input.len()), tracing_enclave());
         let mut rng = StdRng::seed_from_u64(1234);
         shuffler.shuffle(&input, &mut rng).unwrap();
         shuffler.enclave().trace()
@@ -62,7 +63,9 @@ fn stash_and_batcher_agree_on_the_multiset() {
     let stash = StashShuffle::new(StashShuffleParams::derive(input.len()), tracing_enclave())
         .shuffle(&input, &mut rng)
         .unwrap();
-    let batcher = BatcherShuffle::new(tracing_enclave()).shuffle(&input, &mut rng).unwrap();
+    let batcher = BatcherShuffle::new(tracing_enclave())
+        .shuffle(&input, &mut rng)
+        .unwrap();
     let a: HashSet<_> = stash.records.iter().cloned().collect();
     let b: HashSet<_> = batcher.iter().cloned().collect();
     let c: HashSet<_> = input.iter().cloned().collect();

@@ -1,0 +1,43 @@
+//! Workspace smoke test: drives the quickstart example's complete
+//! encode→shuffle→analyze path so the ESA wiring is exercised end-to-end
+//! outside unit tests (and outside `cargo run`).
+
+use prochlo_examples::{run_quickstart, QUICKSTART_BROWSERS};
+
+#[test]
+fn quickstart_pipeline_produces_a_nonempty_histogram() {
+    let result = run_quickstart(42);
+
+    // The shuffler saw every encoded report and forwarded the large crowds.
+    let total_clients: u64 = QUICKSTART_BROWSERS.iter().map(|(_, n)| n).sum();
+    assert_eq!(result.shuffler_stats.received as u64, total_clients);
+    assert!(result.shuffler_stats.forwarded > 0, "nothing was forwarded");
+
+    // The analyzer materialized a non-empty histogram with sane counts.
+    let histogram = result.database.histogram();
+    assert!(histogram.distinct() > 0, "analyzer histogram is empty");
+    assert_eq!(histogram.total(), result.shuffler_stats.forwarded as u64);
+
+    // Popular values survive randomized thresholding (threshold 20 with
+    // sigma 2 noise cannot plausibly eat a 600-strong crowd)...
+    assert!(result.database.count(b"chrome") > 500);
+    assert!(result.database.count(b"firefox") > 150);
+
+    // ...while the two-user crowd must be suppressed: this is the privacy
+    // property the quickstart demonstrates.
+    assert_eq!(result.database.count(b"netscape-4.7"), 0);
+}
+
+#[test]
+fn quickstart_pipeline_is_deterministic_per_seed() {
+    let a = run_quickstart(7);
+    let b = run_quickstart(7);
+    assert_eq!(a.shuffler_stats.forwarded, b.shuffler_stats.forwarded);
+    for (browser, _) in QUICKSTART_BROWSERS {
+        assert_eq!(
+            a.database.count(browser.as_bytes()),
+            b.database.count(browser.as_bytes()),
+            "count for {browser} differs between identically-seeded runs"
+        );
+    }
+}

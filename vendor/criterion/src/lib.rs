@@ -1,0 +1,165 @@
+//! Offline API-compatible subset of `criterion`.
+//!
+//! Provides [`Criterion`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a simple
+//! warm-up-then-sample loop printing a median ns/iter figure — enough to
+//! compare implementations and to smoke-run harnesses in CI, without
+//! upstream's statistical analysis or HTML reports.
+//!
+//! Knobs (environment variables):
+//! * `CRITERION_SAMPLE_MILLIS` — target measurement time per benchmark in
+//!   milliseconds (default 40; CI smoke runs set 1).
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_millis: sample_millis(),
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, sample_millis(), &mut f);
+        self
+    }
+}
+
+fn sample_millis() -> u64 {
+    std::env::var("CRITERION_SAMPLE_MILLIS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_millis: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; this harness sizes samples by
+    /// wall-clock budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for upstream compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.sample_millis = time.as_millis().max(1) as u64;
+        self
+    }
+
+    /// Times one benchmark and prints its ns/iter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_millis, &mut f);
+        self
+    }
+
+    /// Ends the group (upstream emits summaries here; we need nothing).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_millis: u64, f: &mut F) {
+    let mut bencher = Bencher {
+        budget: Duration::from_millis(sample_millis),
+        nanos_per_iter: 0.0,
+        iters: 0,
+    };
+    f(&mut bencher);
+    println!(
+        "  {name:<32} {:>14.1} ns/iter ({} iters)",
+        bencher.nanos_per_iter, bencher.iters
+    );
+}
+
+/// Runs and times the closure under test.
+pub struct Bencher {
+    budget: Duration,
+    nanos_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, discarding a warm-up batch and then sampling in
+    /// doubling batches until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        let mut batch: u64 = 1;
+        while start.elapsed() < self.budget {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.nanos_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// Declares a group function that runs each target against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups; ignores harness CLI flags
+/// (`cargo bench` passes `--bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports_iters() {
+        std::env::set_var("CRITERION_SAMPLE_MILLIS", "1");
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("self-test");
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 3, "routine should run warm-up plus samples");
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline API-compatible subset of `proptest`.
+//!
+//! Implements exactly the surface this workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! [`strategy::Strategy`] over numeric ranges and [`arbitrary::any`], and the
+//! `prop_assert*` macros. Unlike upstream there is no shrinking: a failing
+//! case panics immediately, printing the case index. The generator is
+//! seeded from the test's name (xor `PROPTEST_SEED` if set), so failures
+//! replay exactly by rerunning the same test.
+
+pub mod arbitrary;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import module, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each inner `fn` becomes a `#[test]` that samples
+/// its arguments from the given strategies for `config.cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat in $strategy:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = config.cases;
+            let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            for case in 0..cases {
+                runner.begin_case(case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), runner.rng());)*
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || $body,
+                ));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest {}: failed at case {case} of {cases} \
+                         (deterministic; rerun this test to replay, or vary \
+                         PROPTEST_SEED to explore)",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn samples_respect_range_bounds(x in 5usize..50, f in -1.0f64..1.0, s in any::<u64>()) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            let _ = s; // any::<u64> covers the full domain; nothing to bound.
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in 0u32..10) {
+            prop_assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn config_reads_cases_override_from_env() {
+        let config = ProptestConfig::with_cases(7);
+        assert_eq!(config.cases, 7);
+    }
+}

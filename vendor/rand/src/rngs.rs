@@ -1,0 +1,110 @@
+//! Named generators. [`StdRng`] is the workspace's seedable workhorse.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The standard seedable generator: xoshiro256++.
+///
+/// Upstream `rand 0.8` uses ChaCha12 here; this workspace only relies on
+/// `StdRng` being deterministic, seed-sensitive and statistically strong,
+/// all of which xoshiro256++ provides at a fraction of the code size. For a
+/// cryptographically-pedigreed stream, use `rand_chacha::ChaCha20Rng`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.step().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            *word = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        // Scramble through SplitMix64 so low-entropy seeds (for example an
+        // all-zero seed, which would be a fixed point of xoshiro) still
+        // yield a well-mixed, non-degenerate state.
+        let mut mix = s[0] ^ s[1].rotate_left(17) ^ s[2].rotate_left(31) ^ s[3].rotate_left(47);
+        mix ^= 0xA076_1D64_78BD_642F;
+        for (i, word) in s.iter_mut().enumerate() {
+            *word ^= splitmix64(&mut mix).wrapping_add(i as u64);
+        }
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        let mut rng = Self { s };
+        // A few warm-up rounds decorrelate seeds differing in few bits.
+        for _ in 0..8 {
+            rng.step();
+        }
+        rng
+    }
+}
+
+// Deliberately NOT `impl CryptoRng for StdRng`: upstream's StdRng earns
+// that marker by being ChaCha12, while this stand-in is xoshiro256++ and
+// predictable from a handful of outputs. Code needing a CryptoRng bound
+// should use `rand_chacha::ChaCha20Rng`.
+
+/// A small non-seedable convenience generator, seeded from system entropy.
+#[derive(Debug, Clone)]
+pub struct ThreadRng(StdRng);
+
+impl Default for ThreadRng {
+    fn default() -> Self {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x1234_5678);
+        let addr = &nanos as *const _ as u64;
+        ThreadRng(StdRng::seed_from_u64(nanos ^ addr.rotate_left(32)))
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}

@@ -1,0 +1,93 @@
+//! Sequence helpers: in-place shuffling and random element choice.
+
+use crate::distributions::uniform::sample_below_u64;
+use crate::RngCore;
+
+/// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, uniform over permutations
+    /// up to the generator's quality).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly random element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = sample_below_u64(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[sample_below_u64(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+/// Extension methods on iterators, mirroring `rand::seq::IteratorRandom`.
+pub trait IteratorRandom: Iterator + Sized {
+    /// Uniformly chooses one item via reservoir sampling.
+    fn choose<R: RngCore + ?Sized>(self, rng: &mut R) -> Option<Self::Item> {
+        let mut chosen = None;
+        let mut seen: u64 = 0;
+        for item in self {
+            seen += 1;
+            if sample_below_u64(rng, seen) == 0 {
+                chosen = Some(item);
+            }
+        }
+        chosen
+    }
+}
+
+impl<I: Iterator> IteratorRandom for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_moves_things() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        let original = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, original);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, original);
+    }
+
+    #[test]
+    fn shuffle_positions_are_roughly_uniform() {
+        // Track where element 0 lands over many shuffles; every cell of a
+        // 10-slot array should be hit a reasonable number of times.
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut counts = [0usize; 10];
+        for _ in 0..5000 {
+            let mut v: Vec<usize> = (0..10).collect();
+            v.shuffle(&mut rng);
+            let pos = v.iter().position(|&x| x == 0).unwrap();
+            counts[pos] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (350..650).contains(&c),
+                "position counts skewed: {counts:?}"
+            );
+        }
+    }
+}

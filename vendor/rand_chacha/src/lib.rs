@@ -1,0 +1,145 @@
+//! Offline stand-in for the `rand_chacha` crate: ChaCha stream-cipher
+//! generators implementing the vendored [`rand`] traits. The block function
+//! is the real RFC 8439 quarter-round construction, so the keystream is the
+//! genuine ChaCha keystream (zero nonce, 64-bit block counter).
+
+use rand::{CryptoRng, RngCore, SeedableRng};
+
+/// ChaCha with 20 rounds — the cryptographically conservative choice.
+pub type ChaCha20Rng = ChaChaRng<10>;
+/// ChaCha with 12 rounds — upstream `rand`'s `StdRng` core.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 8 rounds — the fast variant.
+pub type ChaCha8Rng = ChaChaRng<4>;
+
+/// A ChaCha random number generator with `DOUBLE_ROUNDS * 2` rounds.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const DOUBLE_ROUNDS: usize> {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    /// Next unconsumed word in `buffer`; 16 means "refill needed".
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaRng<DOUBLE_ROUNDS> {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Words 14/15 stay zero: a zero nonce with a 64-bit counter, the
+        // classic djb configuration.
+        let input = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, orig) in state.iter_mut().zip(input.iter()) {
+            *word = word.wrapping_add(*orig);
+        }
+        self.buffer = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    /// Returns the current 64-bit block counter (next block to generate).
+    pub fn get_word_pos(&self) -> u128 {
+        (self.counter as u128) * 16 + self.index as u128
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaRng<DOUBLE_ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> SeedableRng for ChaChaRng<DOUBLE_ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            *word = u32::from_le_bytes(seed[i * 4..(i + 1) * 4].try_into().unwrap());
+        }
+        Self {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> CryptoRng for ChaChaRng<DOUBLE_ROUNDS> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_matches_rfc8439_keystream_shape() {
+        // RFC 8439 §2.3.2 test vector uses a nonzero nonce, which this
+        // generator does not expose; instead pin the zero-key zero-nonce
+        // first block, a widely published ChaCha20 vector.
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let mut block = [0u8; 64];
+        rng.fill_bytes(&mut block);
+        let expected_start = [
+            0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+            0xbd, 0x28,
+        ];
+        assert_eq!(&block[..16], &expected_start);
+    }
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = ChaCha20Rng::seed_from_u64(42);
+        let mut b = ChaCha20Rng::seed_from_u64(42);
+        let mut c = ChaCha12Rng::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+        // Different round counts give unrelated streams.
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
