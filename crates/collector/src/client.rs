@@ -1,0 +1,92 @@
+//! A minimal blocking client for the collector protocol.
+//!
+//! This is what the client simulator, the integration tests and any
+//! command-line tooling use; a production client device would embed the
+//! same framing behind its upload scheduler.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::error::CollectorError;
+use crate::protocol::{read_frame, write_frame, Request, Response, NONCE_LEN};
+
+/// One client connection to a collector.
+#[derive(Debug)]
+pub struct CollectorClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame_len: usize,
+}
+
+impl CollectorClient {
+    /// Connects to a collector with a 10-second I/O timeout.
+    pub fn connect(addr: SocketAddr) -> Result<Self, CollectorError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with an explicit I/O timeout.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> Result<Self, CollectorError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            max_frame_len: 64 << 10,
+        })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, CollectorError> {
+        write_frame(&mut self.writer, &request.to_bytes())?;
+        let body = read_frame(&mut self.reader, self.max_frame_len)?;
+        Response::from_bytes(&body)
+    }
+
+    /// Submits one sealed report under `nonce` and returns the verdict.
+    pub fn submit(
+        &mut self,
+        nonce: &[u8; NONCE_LEN],
+        report: &[u8],
+    ) -> Result<Response, CollectorError> {
+        self.round_trip(&Request::Submit {
+            nonce: *nonce,
+            report: report.to_vec(),
+        })
+    }
+
+    /// Submits a report, sleeping out `RetryAfter` responses (with the same
+    /// nonce, so a raced submission is never double-counted) until the
+    /// collector gives a final verdict or `max_attempts` is exhausted.
+    pub fn submit_with_retry(
+        &mut self,
+        nonce: &[u8; NONCE_LEN],
+        report: &[u8],
+        max_attempts: usize,
+    ) -> Result<Response, CollectorError> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match self.submit(nonce, report)? {
+                Response::RetryAfter { millis } if attempts < max_attempts => {
+                    // Cap the server hint so a test misconfiguration cannot
+                    // park a client thread for minutes.
+                    std::thread::sleep(Duration::from_millis(u64::from(millis).min(1000)));
+                }
+                Response::RetryAfter { .. } => {
+                    return Err(CollectorError::RetriesExhausted { attempts })
+                }
+                verdict => return Ok(verdict),
+            }
+        }
+    }
+
+    /// Probes the collector, returning the `Ack` queue-depth hint.
+    pub fn ping(&mut self) -> Result<Response, CollectorError> {
+        self.round_trip(&Request::Ping)
+    }
+}

@@ -1,0 +1,303 @@
+//! The collector wire protocol: length-prefixed frames over TCP.
+//!
+//! Every message is a little-endian `u32` frame length followed by that many
+//! body bytes, encoded with the same explicit reader/writer the report
+//! formats use ([`prochlo_core::wire`]); there is deliberately no
+//! serialization framework and no self-describing schema. The body starts
+//! with a protocol version byte and a message-type byte:
+//!
+//! ```text
+//! client → collector
+//!   SUBMIT:  [u32 len][u8 version=1][u8 type=1][16-byte nonce][u32+report bytes]
+//!   PING:    [u32 len][u8 version=1][u8 type=2]
+//!
+//! collector → client
+//!   ACK:         [u32 len][u8 version=1][u8 code=0][u32 queue depth]
+//!   RETRY_AFTER: [u32 len][u8 version=1][u8 code=1][u32 millis]
+//!   REJECTED:    [u32 len][u8 version=1][u8 code=2][u32+reason bytes]
+//!   DUPLICATE:   [u32 len][u8 version=1][u8 code=3]
+//! ```
+//!
+//! The nonce is chosen by the client per submission and is the replay-dedup
+//! key; retrying a `RETRY_AFTER` response must reuse the same nonce so a
+//! submission that raced a queue slot is never double-counted.
+
+use std::io::{Read, Write};
+
+use prochlo_core::wire::{put_bytes, put_u32, put_u8, Reader};
+
+use crate::error::CollectorError;
+
+/// Version byte every frame starts with.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Length of the client-chosen replay-dedup nonce.
+pub const NONCE_LEN: usize = 16;
+
+/// A client-to-collector message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit one sealed report for the current epoch.
+    Submit {
+        /// Client-chosen replay-dedup nonce (reused across retries).
+        nonce: [u8; NONCE_LEN],
+        /// The serialized outer ciphertext of a client report.
+        report: Vec<u8>,
+    },
+    /// Liveness probe; answered with an `Ack` carrying the queue depth.
+    Ping,
+}
+
+/// A collector-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The report was accepted into the current epoch's queue.
+    Ack {
+        /// Queue depth after the push (a load hint, not a promise).
+        pending: u32,
+    },
+    /// The collector is saturated; retry the same nonce after the hint.
+    RetryAfter {
+        /// Suggested client back-off in milliseconds.
+        millis: u32,
+    },
+    /// The report was malformed and will never be accepted.
+    Rejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The nonce was already accepted; the report is already queued.
+    Duplicate,
+}
+
+impl Request {
+    /// Serializes the message body (without the frame length prefix).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u8(&mut out, PROTOCOL_VERSION);
+        match self {
+            Request::Submit { nonce, report } => {
+                put_u8(&mut out, 1);
+                out.extend_from_slice(nonce);
+                put_bytes(&mut out, report);
+            }
+            Request::Ping => put_u8(&mut out, 2),
+        }
+        out
+    }
+
+    /// Parses a message body.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CollectorError> {
+        let mut reader = Reader::new(bytes);
+        check_version(&mut reader)?;
+        let request = match read_u8(&mut reader)? {
+            1 => {
+                let nonce_bytes = reader
+                    .get_array(NONCE_LEN)
+                    .map_err(|_| CollectorError::Protocol("truncated nonce"))?;
+                let mut nonce = [0u8; NONCE_LEN];
+                nonce.copy_from_slice(&nonce_bytes);
+                let report = reader
+                    .get_bytes()
+                    .map_err(|_| CollectorError::Protocol("truncated report"))?;
+                Request::Submit { nonce, report }
+            }
+            2 => Request::Ping,
+            _ => return Err(CollectorError::Protocol("unknown request type")),
+        };
+        check_exhausted(&reader)?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Serializes the message body (without the frame length prefix).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u8(&mut out, PROTOCOL_VERSION);
+        match self {
+            Response::Ack { pending } => {
+                put_u8(&mut out, 0);
+                put_u32(&mut out, *pending);
+            }
+            Response::RetryAfter { millis } => {
+                put_u8(&mut out, 1);
+                put_u32(&mut out, *millis);
+            }
+            Response::Rejected { reason } => {
+                put_u8(&mut out, 2);
+                put_bytes(&mut out, reason.as_bytes());
+            }
+            Response::Duplicate => put_u8(&mut out, 3),
+        }
+        out
+    }
+
+    /// Parses a message body.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CollectorError> {
+        let mut reader = Reader::new(bytes);
+        check_version(&mut reader)?;
+        let response = match read_u8(&mut reader)? {
+            0 => Response::Ack {
+                pending: read_u32(&mut reader)?,
+            },
+            1 => Response::RetryAfter {
+                millis: read_u32(&mut reader)?,
+            },
+            2 => {
+                let reason = reader
+                    .get_bytes()
+                    .map_err(|_| CollectorError::Protocol("truncated reason"))?;
+                Response::Rejected {
+                    reason: String::from_utf8_lossy(&reason).into_owned(),
+                }
+            }
+            3 => Response::Duplicate,
+            _ => return Err(CollectorError::Protocol("unknown response code")),
+        };
+        check_exhausted(&reader)?;
+        Ok(response)
+    }
+}
+
+fn check_version(reader: &mut Reader<'_>) -> Result<(), CollectorError> {
+    match read_u8(reader)? {
+        PROTOCOL_VERSION => Ok(()),
+        _ => Err(CollectorError::Protocol("unsupported protocol version")),
+    }
+}
+
+fn check_exhausted(reader: &Reader<'_>) -> Result<(), CollectorError> {
+    if reader.is_empty() {
+        Ok(())
+    } else {
+        Err(CollectorError::Protocol("trailing frame bytes"))
+    }
+}
+
+fn read_u8(reader: &mut Reader<'_>) -> Result<u8, CollectorError> {
+    reader
+        .get_u8()
+        .map_err(|_| CollectorError::Protocol("truncated frame"))
+}
+
+fn read_u32(reader: &mut Reader<'_>) -> Result<u32, CollectorError> {
+    reader
+        .get_u32()
+        .map_err(|_| CollectorError::Protocol("truncated frame"))
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(writer: &mut impl Write, body: &[u8]) -> Result<(), CollectorError> {
+    let mut frame = Vec::with_capacity(4 + body.len());
+    put_u32(&mut frame, body.len() as u32);
+    frame.extend_from_slice(body);
+    writer.write_all(&frame)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame body, enforcing `max_len`.
+///
+/// A peer that closes the connection *between* frames yields
+/// [`CollectorError::ConnectionClosed`] (the clean end of a session); one
+/// that closes mid-frame yields an I/O error.
+pub fn read_frame(reader: &mut impl Read, max_len: usize) -> Result<Vec<u8>, CollectorError> {
+    let mut len_bytes = [0u8; 4];
+    match reader.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            return Err(CollectorError::ConnectionClosed)
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > max_len {
+        return Err(CollectorError::FrameTooLarge {
+            actual: len,
+            maximum: max_len,
+        });
+    }
+    if len < 2 {
+        return Err(CollectorError::Protocol("frame shorter than header"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn requests_roundtrip() {
+        for request in [
+            Request::Submit {
+                nonce: [7u8; NONCE_LEN],
+                report: vec![1, 2, 3, 4],
+            },
+            Request::Ping,
+        ] {
+            assert_eq!(Request::from_bytes(&request.to_bytes()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for response in [
+            Response::Ack { pending: 17 },
+            Response::RetryAfter { millis: 250 },
+            Response::Rejected {
+                reason: "not a ciphertext".to_string(),
+            },
+            Response::Duplicate,
+        ] {
+            assert_eq!(
+                Response::from_bytes(&response.to_bytes()).unwrap(),
+                response
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected() {
+        assert!(Request::from_bytes(&[]).is_err());
+        assert!(Request::from_bytes(&[9, 1]).is_err()); // bad version
+        assert!(Request::from_bytes(&[PROTOCOL_VERSION, 9]).is_err()); // bad type
+        assert!(Request::from_bytes(&[PROTOCOL_VERSION, 1, 0]).is_err()); // short nonce
+        let mut trailing = Request::Ping.to_bytes();
+        trailing.push(0);
+        assert!(Request::from_bytes(&trailing).is_err());
+        assert!(Response::from_bytes(&[PROTOCOL_VERSION, 9]).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_enforce_limits() {
+        let body = Request::Ping.to_bytes();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        let mut cursor = Cursor::new(wire.clone());
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap(), body);
+        // Clean EOF at the frame boundary.
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(CollectorError::ConnectionClosed)
+        ));
+        // Oversized announcement is refused before allocating.
+        let mut huge = Vec::new();
+        put_u32(&mut huge, 1 << 30);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(huge), 1024),
+            Err(CollectorError::FrameTooLarge { .. })
+        ));
+        // Truncated body is an I/O error, not a hang or panic.
+        let mut cut = wire.clone();
+        cut.truncate(wire.len() - 1);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(cut), 1024),
+            Err(CollectorError::Io(_))
+        ));
+    }
+}

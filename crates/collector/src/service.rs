@@ -1,0 +1,577 @@
+//! The collector service: listener, protocol workers and the epoch manager.
+//!
+//! Thread layout (all plain `std::thread`, no async runtime):
+//!
+//! * **accept** — owns the `TcpListener`; hands connections to a bounded
+//!   queue, or answers `RetryAfter` and hangs up when even that queue is
+//!   full (connection-level backpressure).
+//! * **workers** (N) — pop connections and speak the frame protocol:
+//!   parse, validate, dedup and enqueue each submission via [`IngestCore`].
+//!   A worker serves one connection at a time until the peer hangs up, so
+//!   clients beyond the pool size queue behind whole sessions; size the
+//!   pool for the expected connection concurrency (per-connection
+//!   multiplexing is a ROADMAP item).
+//! * **epoch** — owns the [`Pipeline`]; drains the report queue with a
+//!   count-or-deadline policy, canonicalizes each batch and runs it through
+//!   `Shuffler::process_batch` + analysis via [`Pipeline::ingest_epoch`].
+//!
+//! Shutdown is graceful and ordered: stop accepting, let workers finish
+//! their connections, then close the report queue so the epoch manager
+//! drains every in-flight report into final epochs before exiting.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use prochlo_core::{AnalyzerDatabase, Pipeline, PipelineError, PipelineReport};
+
+use crate::error::CollectorError;
+use crate::ingest::{IngestConfig, IngestCore, IngestStats};
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::queue::BoundedQueue;
+
+/// Configuration of a running collector.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Address to bind; port 0 picks an ephemeral port.
+    pub addr: SocketAddr,
+    /// Protocol worker threads.
+    pub worker_threads: usize,
+    /// Accepted connections waiting for a worker.
+    pub conn_backlog: usize,
+    /// Reports queued but not yet cut into an epoch (the memory bound).
+    pub queue_capacity: usize,
+    /// Cut an epoch as soon as this many reports are queued.
+    pub max_epoch_reports: usize,
+    /// Cut an epoch with whatever arrived once this much time passes.
+    pub epoch_deadline: Duration,
+    /// Back-off hint sent with `RetryAfter` responses.
+    pub retry_after_ms: u32,
+    /// Maximum frame size accepted from a peer.
+    pub max_frame_len: usize,
+    /// Maximum serialized report size accepted.
+    pub max_report_len: usize,
+    /// Nonces remembered for replay dedup.
+    pub dedup_capacity: usize,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+    /// Deployment seed; with the epoch index it fixes every noise draw
+    /// (see [`prochlo_core::pipeline::epoch_rng`]).
+    pub seed: u64,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".parse().expect("loopback address"),
+            worker_threads: 4,
+            conn_backlog: 1024,
+            queue_capacity: 1 << 16,
+            max_epoch_reports: 8192,
+            epoch_deadline: Duration::from_millis(500),
+            retry_after_ms: 100,
+            max_frame_len: 64 << 10,
+            max_report_len: 16 << 10,
+            dedup_capacity: 1 << 20,
+            io_timeout: Duration::from_secs(10),
+            seed: 0,
+        }
+    }
+}
+
+/// What one epoch produced.
+#[derive(Debug)]
+pub struct EpochResult {
+    /// Epoch index, starting at 0.
+    pub index: u64,
+    /// Reports the epoch batch contained.
+    pub reports: usize,
+    /// The pipeline's output for the batch.
+    pub outcome: Result<PipelineReport, PipelineError>,
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, Default)]
+pub struct CollectorStats {
+    /// Parse/dedup/enqueue counters.
+    pub ingest: IngestStats,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections refused because the backlog queue was full.
+    pub connections_refused: u64,
+    /// Epochs cut so far.
+    pub epochs_cut: u64,
+    /// Reports handed to the pipeline across all epochs.
+    pub reports_processed: u64,
+}
+
+/// Everything the service threads share.
+#[derive(Debug)]
+struct Shared {
+    ingest: IngestCore,
+    shutting_down: AtomicBool,
+    connections: AtomicU64,
+    connections_refused: AtomicU64,
+    epochs_cut: AtomicU64,
+    reports_processed: AtomicU64,
+    epochs: Mutex<Vec<EpochResult>>,
+}
+
+impl Shared {
+    fn stats_snapshot(&self) -> CollectorStats {
+        CollectorStats {
+            ingest: self.ingest.stats(),
+            connections: self.connections.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            epochs_cut: self.epochs_cut.load(Ordering::Relaxed),
+            reports_processed: self.reports_processed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The final accounting a shutdown returns.
+#[derive(Debug)]
+pub struct CollectorSummary {
+    /// Counter snapshot at shutdown.
+    pub stats: CollectorStats,
+    /// Every epoch the service cut, in order.
+    pub epochs: Vec<EpochResult>,
+}
+
+impl CollectorSummary {
+    /// Merges the analyzer databases of all successful epochs, the view a
+    /// long-running analyzer accumulates across batch boundaries.
+    pub fn merged_database(&self) -> AnalyzerDatabase {
+        let mut merged = AnalyzerDatabase::default();
+        for epoch in &self.epochs {
+            if let Ok(report) = &epoch.outcome {
+                merged.merge(report.database.clone());
+            }
+        }
+        merged
+    }
+}
+
+/// A running collector service bound to a local address.
+#[derive(Debug)]
+pub struct Collector {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    conn_queue: Arc<BoundedQueue<TcpStream>>,
+    accept_thread: JoinHandle<()>,
+    worker_threads: Vec<JoinHandle<()>>,
+    epoch_thread: JoinHandle<()>,
+}
+
+impl Collector {
+    /// Binds the listener and spawns the service threads. The pipeline moves
+    /// into the epoch manager, which becomes the only thread to touch it.
+    pub fn start(pipeline: Pipeline, config: CollectorConfig) -> Result<Self, CollectorError> {
+        let listener = TcpListener::bind(config.addr)?;
+        // Accept by polling rather than blocking: the accept loop re-checks
+        // the shutdown flag between polls, so shutdown works for any bind
+        // address (a blocking accept would need a self-connect to wake up,
+        // which cannot reach e.g. an 0.0.0.0 bind on every platform).
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            ingest: IngestCore::new(IngestConfig {
+                queue_capacity: config.queue_capacity,
+                max_report_len: config.max_report_len,
+                dedup_capacity: config.dedup_capacity,
+                retry_after_ms: config.retry_after_ms,
+            }),
+            shutting_down: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            connections_refused: AtomicU64::new(0),
+            epochs_cut: AtomicU64::new(0),
+            reports_processed: AtomicU64::new(0),
+            epochs: Mutex::new(Vec::new()),
+        });
+        let conn_queue = Arc::new(BoundedQueue::new(config.conn_backlog));
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let conn_queue = Arc::clone(&conn_queue);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("collector-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared, &conn_queue, &config))?
+        };
+
+        let worker_threads = (0..config.worker_threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let conn_queue = Arc::clone(&conn_queue);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("collector-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = conn_queue.pop() {
+                            // Per-connection protocol errors already answered
+                            // the peer where possible; they must not take the
+                            // worker down.
+                            let _ = serve_connection(stream, &shared, &config);
+                        }
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let epoch_thread = {
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("collector-epoch".to_string())
+                .spawn(move || epoch_loop(pipeline, &shared, &config))?
+        };
+
+        Ok(Self {
+            local_addr,
+            shared,
+            conn_queue,
+            accept_thread,
+            worker_threads,
+            epoch_thread,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A live snapshot of the service counters.
+    pub fn stats(&self) -> CollectorStats {
+        self.shared.stats_snapshot()
+    }
+
+    /// Shuts the service down gracefully: stop accepting, finish serving
+    /// connected clients, then drain every queued report into final epochs.
+    pub fn shutdown(self) -> CollectorSummary {
+        let Self {
+            local_addr: _,
+            shared,
+            conn_queue,
+            accept_thread,
+            worker_threads,
+            epoch_thread,
+        } = self;
+        shared.shutting_down.store(true, Ordering::SeqCst);
+        // The accept loop polls the flag and exits within one poll interval.
+        let _ = accept_thread.join();
+        // No new connections arrive; let workers drain the backlog.
+        conn_queue.close();
+        for worker in worker_threads {
+            let _ = worker.join();
+        }
+        // No worker can push anymore; the epoch manager drains what is left.
+        shared.ingest.queue().close();
+        let _ = epoch_thread.join();
+
+        let stats = shared.stats_snapshot();
+        let epochs = match Arc::try_unwrap(shared) {
+            Ok(shared) => shared.epochs.into_inner(),
+            // A caller cloned the Arc (not possible through the public API);
+            // fall back to draining the shared vector.
+            Err(shared) => std::mem::take(&mut *shared.epochs.lock()),
+        };
+        CollectorSummary { stats, epochs }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: &Shared,
+    conn_queue: &BoundedQueue<TcpStream>,
+    config: &CollectorConfig,
+) {
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            // WouldBlock is the idle case of the non-blocking listener;
+            // real transient failures (EMFILE under load, aborted
+            // handshakes) take the same brief back-off instead of spinning
+            // a core, letting workers drain connections that hold
+            // descriptors.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        // Windows inherits the listener's non-blocking mode into accepted
+        // sockets; the per-connection protocol I/O must block (with
+        // timeouts), so reset it explicitly.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        match conn_queue.try_push(stream) {
+            Ok(()) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(refused) => {
+                // Even the connection backlog is full: answer RetryAfter
+                // once and hang up rather than holding the socket open.
+                shared.connections_refused.fetch_add(1, Ordering::Relaxed);
+                let (crate::queue::PushError::Full(mut stream)
+                | crate::queue::PushError::Closed(mut stream)) = refused;
+                let _ = stream.set_write_timeout(Some(config.io_timeout));
+                let busy = Response::RetryAfter {
+                    millis: config.retry_after_ms,
+                };
+                let _ = write_frame(&mut stream, &busy.to_bytes());
+            }
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    config: &CollectorConfig,
+) -> Result<(), CollectorError> {
+    stream.set_read_timeout(Some(config.io_timeout))?;
+    stream.set_write_timeout(Some(config.io_timeout))?;
+    stream.set_nodelay(true)?;
+    let peer = stream.peer_addr()?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        // Between requests is the safe point to observe a shutdown: the
+        // last response is fully written, so hanging up here cannot lose an
+        // acknowledged report, and a persistent client cannot pin this
+        // worker past shutdown (a silent one is bounded by io_timeout).
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return Err(CollectorError::ShuttingDown);
+        }
+        let body = match read_frame(&mut reader, config.max_frame_len) {
+            Ok(body) => body,
+            Err(CollectorError::ConnectionClosed) => return Ok(()),
+            Err(CollectorError::FrameTooLarge { .. }) => {
+                // The peer announced more than we will read; answering and
+                // resynchronizing is impossible, so reject and hang up.
+                let reject = Response::Rejected {
+                    reason: "frame exceeds maximum size".to_string(),
+                };
+                let _ = write_frame(&mut writer, &reject.to_bytes());
+                return Err(CollectorError::Protocol("oversized frame"));
+            }
+            Err(e) => return Err(e),
+        };
+        let response = match Request::from_bytes(&body) {
+            Ok(Request::Submit { nonce, report }) => shared.ingest.ingest(&nonce, &report, peer),
+            Ok(Request::Ping) => Response::Ack {
+                pending: shared.ingest.queue().len() as u32,
+            },
+            Err(_) => {
+                // A desynchronized or hostile peer; reject and hang up.
+                let reject = Response::Rejected {
+                    reason: "malformed request".to_string(),
+                };
+                let _ = write_frame(&mut writer, &reject.to_bytes());
+                return Err(CollectorError::Protocol("malformed request"));
+            }
+        };
+        write_frame(&mut writer, &response.to_bytes())?;
+    }
+}
+
+fn epoch_loop(pipeline: Pipeline, shared: &Shared, config: &CollectorConfig) {
+    let queue = shared.ingest.queue();
+    let mut next_epoch = 0u64;
+    loop {
+        let mut batch = queue.drain_when(config.max_epoch_reports, config.epoch_deadline);
+        if batch.is_empty() {
+            if queue.is_closed() {
+                break;
+            }
+            continue;
+        }
+        // Canonicalize before processing: ordering by ciphertext bytes (a)
+        // erases arrival order one stage before the shuffler even sees the
+        // batch, and (b) makes the batch a pure function of its *contents*,
+        // so identically-seeded runs replay identically regardless of
+        // client thread scheduling.
+        batch.sort_by_cached_key(|report| report.outer.to_bytes());
+        let outcome = pipeline.ingest_epoch(next_epoch, &batch, config.seed);
+        shared
+            .reports_processed
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shared.epochs_cut.fetch_add(1, Ordering::Relaxed);
+        shared.epochs.lock().push(EpochResult {
+            index: next_epoch,
+            reports: batch.len(),
+            outcome,
+        });
+        // Age the replay filter with the epoch boundary so its memory and
+        // its capacity headroom are tied to epochs, not process lifetime.
+        shared.ingest.rotate_dedup();
+        next_epoch += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::CollectorClient;
+    use crate::protocol::NONCE_LEN;
+    use prochlo_core::encoder::CrowdStrategy;
+    use prochlo_core::ShufflerConfig;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    fn test_config() -> CollectorConfig {
+        CollectorConfig {
+            worker_threads: 2,
+            epoch_deadline: Duration::from_millis(50),
+            io_timeout: Duration::from_secs(5),
+            ..CollectorConfig::default()
+        }
+    }
+
+    fn start_collector(seed: u64, config: CollectorConfig) -> (Collector, prochlo_core::Encoder) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pipeline = Pipeline::new(
+            ShufflerConfig::default().without_thresholding(),
+            32,
+            &mut rng,
+        );
+        let encoder = pipeline.encoder();
+        let collector = Collector::start(pipeline, config).unwrap();
+        (collector, encoder)
+    }
+
+    fn fresh_nonce(rng: &mut StdRng) -> [u8; NONCE_LEN] {
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        nonce
+    }
+
+    #[test]
+    fn submissions_flow_into_epochs_and_shutdown_drains() {
+        let (collector, encoder) = start_collector(11, test_config());
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut client = CollectorClient::connect(collector.local_addr()).unwrap();
+        for i in 0..20u64 {
+            let report = encoder
+                .encode_plain(b"value", CrowdStrategy::None, i, &mut rng)
+                .unwrap();
+            let response = client
+                .submit(&fresh_nonce(&mut rng), &report.outer.to_bytes())
+                .unwrap();
+            assert!(matches!(response, Response::Ack { .. }));
+        }
+        drop(client);
+        let summary = collector.shutdown();
+        assert_eq!(summary.stats.ingest.accepted, 20);
+        assert_eq!(summary.stats.reports_processed, 20);
+        assert!(summary.stats.epochs_cut >= 1);
+        let total: usize = summary.epochs.iter().map(|e| e.reports).sum();
+        assert_eq!(total, 20);
+        assert_eq!(summary.merged_database().count(b"value"), 20);
+    }
+
+    #[test]
+    fn ping_reports_queue_depth() {
+        let config = CollectorConfig {
+            // A deadline long enough that nothing is drained mid-test.
+            epoch_deadline: Duration::from_secs(60),
+            max_epoch_reports: 1000,
+            ..test_config()
+        };
+        let (collector, encoder) = start_collector(21, config);
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut client = CollectorClient::connect(collector.local_addr()).unwrap();
+        assert_eq!(client.ping().unwrap(), Response::Ack { pending: 0 });
+        let report = encoder
+            .encode_plain(b"x", CrowdStrategy::None, 0, &mut rng)
+            .unwrap();
+        client
+            .submit(&fresh_nonce(&mut rng), &report.outer.to_bytes())
+            .unwrap();
+        assert_eq!(client.ping().unwrap(), Response::Ack { pending: 1 });
+        drop(client);
+        collector.shutdown();
+    }
+
+    #[test]
+    fn malformed_submissions_are_rejected_and_connection_survives_reconnect() {
+        let (collector, encoder) = start_collector(31, test_config());
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut client = CollectorClient::connect(collector.local_addr()).unwrap();
+        let response = client.submit(&fresh_nonce(&mut rng), &[1, 2, 3]).unwrap();
+        assert!(matches!(response, Response::Rejected { .. }));
+        // The protocol stream is still synchronized: a valid submit works.
+        let report = encoder
+            .encode_plain(b"ok", CrowdStrategy::None, 0, &mut rng)
+            .unwrap();
+        assert!(matches!(
+            client
+                .submit(&fresh_nonce(&mut rng), &report.outer.to_bytes())
+                .unwrap(),
+            Response::Ack { .. }
+        ));
+        drop(client);
+        let summary = collector.shutdown();
+        assert_eq!(summary.stats.ingest.rejected, 1);
+        assert_eq!(summary.stats.ingest.accepted, 1);
+    }
+
+    #[test]
+    fn shutdown_completes_while_a_client_is_still_connected() {
+        let config = CollectorConfig {
+            // The only wait shutdown may incur for a silent-but-connected
+            // client is one io_timeout; keep it short for the test.
+            io_timeout: Duration::from_millis(200),
+            ..test_config()
+        };
+        let (collector, encoder) = start_collector(51, config);
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut client = CollectorClient::connect(collector.local_addr()).unwrap();
+        let report = encoder
+            .encode_plain(b"lingering", CrowdStrategy::None, 0, &mut rng)
+            .unwrap();
+        client
+            .submit(&fresh_nonce(&mut rng), &report.outer.to_bytes())
+            .unwrap();
+        // The client stays connected and idle; shutdown must not wait on it
+        // beyond the io_timeout.
+        let start = std::time::Instant::now();
+        let summary = collector.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shutdown must not hang on a connected client"
+        );
+        assert_eq!(summary.stats.reports_processed, 1);
+        drop(client);
+    }
+
+    #[test]
+    fn duplicate_nonce_over_the_wire_is_flagged() {
+        let (collector, encoder) = start_collector(41, test_config());
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut client = CollectorClient::connect(collector.local_addr()).unwrap();
+        let report = encoder
+            .encode_plain(b"v", CrowdStrategy::None, 0, &mut rng)
+            .unwrap();
+        let nonce = fresh_nonce(&mut rng);
+        let bytes = report.outer.to_bytes();
+        assert!(matches!(
+            client.submit(&nonce, &bytes).unwrap(),
+            Response::Ack { .. }
+        ));
+        assert_eq!(client.submit(&nonce, &bytes).unwrap(), Response::Duplicate);
+        drop(client);
+        let summary = collector.shutdown();
+        assert_eq!(summary.stats.ingest.accepted, 1);
+        assert_eq!(summary.stats.ingest.duplicates, 1);
+        assert_eq!(summary.stats.reports_processed, 1);
+    }
+}

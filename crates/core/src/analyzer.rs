@@ -154,6 +154,23 @@ impl AnalyzerDatabase {
         self.histogram.distinct()
     }
 
+    /// A canonical byte serialization of the histogram: `(value, count)`
+    /// entries sorted by value, each wire-encoded. Two databases holding the
+    /// same multiset of rows serialize identically regardless of ingestion
+    /// order or the process's hash seed, which is what deterministic-replay
+    /// tests and cross-run comparisons diff against.
+    pub fn canonical_histogram_bytes(&self) -> Vec<u8> {
+        let mut entries: Vec<(&Vec<u8>, u64)> = self.histogram.iter().collect();
+        entries.sort();
+        let mut out = Vec::new();
+        crate::wire::put_u32(&mut out, entries.len() as u32);
+        for (value, count) in entries {
+            crate::wire::put_bytes(&mut out, value);
+            crate::wire::put_u64(&mut out, count);
+        }
+        out
+    }
+
     /// Items that failed to decrypt or parse.
     pub fn undecryptable(&self) -> usize {
         self.undecryptable
@@ -323,6 +340,29 @@ mod tests {
         assert_eq!(db.count(b"alpha"), 3);
         assert_eq!(db.count(b"beta"), 3);
         assert_eq!(db.recovered_secrets(), 2);
+    }
+
+    #[test]
+    fn canonical_histogram_bytes_ignore_ingestion_order() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (analyzer, items) = inner_items(&[b"a", b"b", b"a", b"c"], None, &mut rng);
+        let forward = analyzer.ingest_items(&items).unwrap();
+        let reversed: Vec<Vec<u8>> = items.iter().rev().cloned().collect();
+        let backward = analyzer.ingest_items(&reversed).unwrap();
+        assert_eq!(
+            forward.canonical_histogram_bytes(),
+            backward.canonical_histogram_bytes()
+        );
+        // The encoding is non-trivial and changes with the contents.
+        assert!(!forward.canonical_histogram_bytes().is_empty());
+        let (analyzer2, items2) = inner_items(&[b"a"], None, &mut rng);
+        assert_ne!(
+            analyzer2
+                .ingest_items(&items2)
+                .unwrap()
+                .canonical_histogram_bytes(),
+            forward.canonical_histogram_bytes()
+        );
     }
 
     #[test]

@@ -4,10 +4,15 @@
 //! the workspace smoke test can drive the exact encode→shuffle→analyze path
 //! the example demonstrates.
 
+use std::thread;
+
+use prochlo_collector::{
+    Collector, CollectorClient, CollectorConfig, CollectorSummary, Response, NONCE_LEN,
+};
 use prochlo_core::encoder::CrowdStrategy;
-use prochlo_core::{Pipeline, PipelineReport, ShufflerConfig};
+use prochlo_core::{AnalyzerDatabase, Encoder, Pipeline, PipelineReport, ShufflerConfig};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// The browser share reported by the quickstart clients: `(value, clients)`.
 pub const QUICKSTART_BROWSERS: [(&str, u64); 5] = [
@@ -54,4 +59,177 @@ pub fn run_quickstart(seed: u64) -> PipelineReport {
     pipeline
         .run_batch(&reports, &mut rng)
         .expect("pipeline run")
+}
+
+/// What a live-ingestion run produced.
+#[derive(Debug)]
+pub struct LiveIngestOutcome {
+    /// Collector accounting: ingest counters and per-epoch results.
+    pub summary: CollectorSummary,
+    /// The analyzer databases of all epochs, merged.
+    pub database: AnalyzerDatabase,
+    /// Canonical serialization of the merged histogram, for replay diffs.
+    pub histogram_bytes: Vec<u8>,
+}
+
+/// Drives the full serving path over loopback TCP: `client_threads`
+/// concurrent simulated clients each encode and submit
+/// `reports_per_client` sealed reports (browser shares drawn from
+/// [`QUICKSTART_BROWSERS`]) to a collector, which cuts epochs and runs them
+/// through the shuffler and analyzer. Blocks until every client finished
+/// and the collector drained.
+///
+/// All client randomness and every epoch's noise derive from `seed`. With a
+/// single-epoch configuration (`max_epoch_reports >= ` total reports and a
+/// deadline the run cannot hit), the merged histogram is a pure function of
+/// `seed` — byte-identical across runs — because the collector
+/// canonicalizes each batch before processing.
+pub fn run_live_ingest(
+    seed: u64,
+    client_threads: usize,
+    reports_per_client: usize,
+    collector_config: CollectorConfig,
+) -> LiveIngestOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pipeline = Pipeline::new(ShufflerConfig::default(), 32, &mut rng);
+    let client_keys = pipeline.client_keys();
+    let payload_size = 32;
+
+    let mut config = collector_config;
+    config.seed = seed;
+    let collector = Collector::start(pipeline, config).expect("start collector");
+    let addr = collector.local_addr();
+
+    let clients: Vec<_> = (0..client_threads)
+        .map(|c| {
+            let keys = client_keys.clone();
+            thread::spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ ((c as u64 + 1).wrapping_mul(0x9E37_79B9)));
+                let encoder = Encoder::new(keys, payload_size);
+                // Workers serve one connection at a time, so with more
+                // clients than workers a client can sit queued behind whole
+                // submission runs; give the simulator a timeout that a
+                // loaded CI machine cannot hit.
+                let mut client = CollectorClient::connect_with_timeout(
+                    addr,
+                    std::time::Duration::from_secs(120),
+                )
+                .expect("connect to collector");
+                for i in 0..reports_per_client {
+                    let browser = weighted_browser(&mut rng);
+                    let report = encoder
+                        .encode_plain(
+                            browser.as_bytes(),
+                            CrowdStrategy::Hash(browser.as_bytes()),
+                            (c * reports_per_client + i) as u64,
+                            &mut rng,
+                        )
+                        .expect("encode");
+                    let mut nonce = [0u8; NONCE_LEN];
+                    rng.fill_bytes(&mut nonce);
+                    let verdict = client
+                        .submit_with_retry(&nonce, &report.outer.to_bytes(), 100)
+                        .expect("submit");
+                    assert!(
+                        matches!(verdict, Response::Ack { .. }),
+                        "unexpected verdict {verdict:?}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    let summary = collector.shutdown();
+    let database = summary.merged_database();
+    LiveIngestOutcome {
+        histogram_bytes: database.canonical_histogram_bytes(),
+        database,
+        summary,
+    }
+}
+
+/// What the backpressure demonstration observed.
+#[derive(Debug)]
+pub struct BackpressureOutcome {
+    /// Submissions the collector accepted (equals the queue capacity).
+    pub acks: usize,
+    /// Submissions answered with `RetryAfter`.
+    pub retries: usize,
+    /// Collector accounting after the drain.
+    pub summary: CollectorSummary,
+}
+
+/// Demonstrates the collector's bounded-memory contract: one client pushes
+/// `submissions` reports at a collector whose report queue holds only
+/// `capacity` and whose epoch manager is configured to never cut during the
+/// run. The first `capacity` submissions are acknowledged; every one after
+/// that is answered `RetryAfter` (and *not* buffered). The shutdown drain
+/// then processes exactly the accepted reports.
+pub fn run_backpressure_demo(
+    seed: u64,
+    capacity: usize,
+    submissions: usize,
+) -> BackpressureOutcome {
+    assert!(submissions > capacity, "demo needs an overflow");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pipeline = Pipeline::new(
+        ShufflerConfig::default().without_thresholding(),
+        32,
+        &mut rng,
+    );
+    let encoder = pipeline.encoder();
+    let config = CollectorConfig {
+        queue_capacity: capacity,
+        // Unreachable count and a deadline far past the test: no epoch is
+        // cut while the client is submitting, so the queue genuinely fills.
+        max_epoch_reports: submissions * 10,
+        epoch_deadline: std::time::Duration::from_secs(600),
+        worker_threads: 1,
+        seed,
+        ..CollectorConfig::default()
+    };
+    let collector = Collector::start(pipeline, config).expect("start collector");
+    let mut client = CollectorClient::connect(collector.local_addr()).expect("connect");
+
+    let mut acks = 0;
+    let mut retries = 0;
+    for i in 0..submissions {
+        let report = encoder
+            .encode_plain(b"pressure", CrowdStrategy::None, i as u64, &mut rng)
+            .expect("encode");
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        match client
+            .submit(&nonce, &report.outer.to_bytes())
+            .expect("submit")
+        {
+            Response::Ack { .. } => acks += 1,
+            Response::RetryAfter { .. } => retries += 1,
+            other => panic!("unexpected verdict {other:?}"),
+        }
+    }
+    drop(client);
+    let summary = collector.shutdown();
+    BackpressureOutcome {
+        acks,
+        retries,
+        summary,
+    }
+}
+
+/// Samples a browser from the [`QUICKSTART_BROWSERS`] share distribution.
+fn weighted_browser(rng: &mut StdRng) -> &'static str {
+    let total: u64 = QUICKSTART_BROWSERS.iter().map(|(_, n)| n).sum();
+    let mut ticket = rng.gen_range(0..total);
+    for (browser, weight) in QUICKSTART_BROWSERS {
+        if ticket < weight {
+            return browser;
+        }
+        ticket -= weight;
+    }
+    unreachable!("weights cover the range")
 }

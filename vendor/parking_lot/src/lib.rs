@@ -1,18 +1,24 @@
 //! Offline API-compatible subset of `parking_lot`, backed by `std::sync`.
 //!
-//! The signature difference that matters to callers: `lock()` returns the
-//! guard directly (no `Result`), and a poisoned std lock is transparently
-//! recovered, matching `parking_lot`'s no-poisoning semantics.
+//! The signature differences that matter to callers: `lock()` returns the
+//! guard directly (no `Result`), a poisoned std lock is transparently
+//! recovered, matching `parking_lot`'s no-poisoning semantics, and the
+//! [`Condvar`] notify methods return `()` rather than upstream's woken
+//! counts (std cannot observe how many threads woke).
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::time::Duration;
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-free `lock()` API.
 #[derive(Default)]
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
 /// RAII guard for [`Mutex`]; unlocks on drop.
-pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+///
+/// The inner `Option` is always `Some` outside of [`Condvar::wait`], which
+/// briefly takes the std guard out while the thread is parked.
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
 
 impl<T> Mutex<T> {
     /// Creates a new unlocked mutex.
@@ -29,14 +35,14 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
-            Ok(guard) => Some(MutexGuard(guard)),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Ok(guard) => Some(MutexGuard(Some(guard))),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -60,13 +66,78 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        self.0.as_deref().expect("guard taken during wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        self.0.as_deref_mut().expect("guard taken during wait")
+    }
+}
+
+/// Whether a [`Condvar`] timed wait returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed rather than a
+    /// notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with [`Mutex`], mirroring `parking_lot`'s
+/// `wait(&mut MutexGuard)` signature (std's `wait` consumes the guard; here
+/// it is taken out of the guard's `Option` and put back on wake-up).
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Blocks until another thread notifies this condition variable.
+    ///
+    /// As with any condition variable, spurious wake-ups are possible; wait
+    /// in a loop that re-checks the predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard taken during wait");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Blocks until a notification arrives or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard taken during wait");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
     }
 }
 
@@ -154,5 +225,41 @@ mod tests {
         assert_eq!(lock.read().len(), 3);
         lock.write().push(4);
         assert_eq!(*lock.read(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn condvar_hands_off_values_between_threads() {
+        let slot = Arc::new((Mutex::new(None::<u32>), Condvar::new()));
+        let consumer = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*slot;
+                let mut guard = lock.lock();
+                while guard.is_none() {
+                    cv.wait(&mut guard);
+                }
+                guard.take().unwrap()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        {
+            let (lock, cv) = &*slot;
+            *lock.lock() = Some(42);
+            cv.notify_one();
+        }
+        assert_eq!(consumer.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_without_notification() {
+        let pair = (Mutex::new(false), Condvar::new());
+        let mut guard = pair.0.lock();
+        let result = pair
+            .1
+            .wait_for(&mut guard, std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
+        // The guard is usable again after the wait returns.
+        *guard = true;
+        assert!(*guard);
     }
 }
