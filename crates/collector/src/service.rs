@@ -27,7 +27,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use prochlo_core::{AnalyzerDatabase, Pipeline, PipelineError, PipelineReport};
+use prochlo_core::{AnalyzerDatabase, EngineConfig, Pipeline, PipelineError, PipelineReport};
 
 use crate::error::CollectorError;
 use crate::ingest::{IngestConfig, IngestCore, IngestStats};
@@ -62,6 +62,12 @@ pub struct CollectorConfig {
     /// Deployment seed; with the epoch index it fixes every noise draw
     /// (see [`prochlo_core::pipeline::epoch_rng`]).
     pub seed: u64,
+    /// Shuffle-engine override the epoch manager threads down to the
+    /// shuffler: backend selection plus worker-thread count. `None` uses
+    /// whatever the pipeline's shuffler was configured with. Either way the
+    /// thread count resolves through the `PROCHLO_SHUFFLE_THREADS` knob
+    /// when left at `0` (see [`prochlo_core::exec::resolve_threads`]).
+    pub engine: Option<EngineConfig>,
 }
 
 impl Default for CollectorConfig {
@@ -79,6 +85,7 @@ impl Default for CollectorConfig {
             dedup_capacity: 1 << 20,
             io_timeout: Duration::from_secs(10),
             seed: 0,
+            engine: None,
         }
     }
 }
@@ -400,7 +407,12 @@ fn epoch_loop(pipeline: Pipeline, shared: &Shared, config: &CollectorConfig) {
         // so identically-seeded runs replay identically regardless of
         // client thread scheduling.
         batch.sort_by_cached_key(|report| report.outer.to_bytes());
-        let outcome = pipeline.ingest_epoch(next_epoch, &batch, config.seed);
+        let outcome = match &config.engine {
+            Some(engine) => {
+                pipeline.ingest_epoch_with_engine(next_epoch, &batch, config.seed, engine)
+            }
+            None => pipeline.ingest_epoch(next_epoch, &batch, config.seed),
+        };
         shared
             .reports_processed
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -551,6 +563,41 @@ mod tests {
         );
         assert_eq!(summary.stats.reports_processed, 1);
         drop(client);
+    }
+
+    #[test]
+    fn configured_engine_overrides_the_pipeline_backend() {
+        let config = CollectorConfig {
+            engine: Some(EngineConfig {
+                backend: prochlo_core::ShuffleBackend::Batcher,
+                num_threads: 2,
+            }),
+            ..test_config()
+        };
+        let (collector, encoder) = start_collector(61, config);
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut client = CollectorClient::connect(collector.local_addr()).unwrap();
+        for i in 0..10u64 {
+            let report = encoder
+                .encode_plain(b"value", CrowdStrategy::None, i, &mut rng)
+                .unwrap();
+            assert!(matches!(
+                client
+                    .submit(&fresh_nonce(&mut rng), &report.outer.to_bytes())
+                    .unwrap(),
+                Response::Ack { .. }
+            ));
+        }
+        drop(client);
+        let summary = collector.shutdown();
+        assert_eq!(summary.merged_database().count(b"value"), 10);
+        assert!(!summary.epochs.is_empty());
+        for epoch in &summary.epochs {
+            let report = epoch.outcome.as_ref().expect("epoch ok");
+            // The pipeline's shuffler defaults to "trusted"; the collector's
+            // engine override must win.
+            assert_eq!(report.shuffler_stats.backend, "batcher");
+        }
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //!   transport metadata, removes the outer encryption layer, applies
 //!   randomized cardinality thresholding per crowd (drop ⌊N(D,σ²)⌉ reports,
 //!   then require the remaining count to exceed T plus Gaussian noise), and
-//!   shuffles the surviving inner ciphertexts — either with a trusted
-//!   in-memory shuffle or with the SGX [`prochlo_shuffle::StashShuffle`].
+//!   shuffles the surviving inner ciphertexts through a pluggable
+//!   [`ShuffleEngine`] backend — the trusted in-memory engine (with
+//!   parallel tag distribution), the SGX Stash Shuffle, or the Batcher and
+//!   Melbourne baselines, all selectable at runtime via [`ShuffleBackend`].
+//!   Peeling is sharded across cores by the chunked executor in [`exec`].
 //!   [`shuffler::split`] implements the two-shuffler blinded-crowd-ID
 //!   deployment of §4.3.
 //! * [`analyzer`] — decrypts the inner layer, materialises a database,
@@ -28,6 +31,7 @@
 pub mod analyzer;
 pub mod encoder;
 pub mod error;
+pub mod exec;
 pub mod pipeline;
 pub mod privacy;
 pub mod record;
@@ -39,5 +43,10 @@ pub use encoder::{ClientKeys, CrowdStrategy, Encoder};
 pub use error::PipelineError;
 pub use pipeline::{Pipeline, PipelineReport};
 pub use privacy::{GaussianThresholdPrivacy, PrivacyAccountant, PrivacyGuarantee};
+pub use prochlo_shuffle::engine::{EngineStats, ShuffleEngine};
+pub use prochlo_shuffle::CostReport;
 pub use record::{AnalyzerPayload, ClientReport, CrowdId, ShufflerEnvelope, TransportMetadata};
-pub use shuffler::{ShuffleBackend, ShuffledBatch, Shuffler, ShufflerConfig, ShufflerStats};
+pub use shuffler::{
+    EngineConfig, PhaseTimings, ShuffleBackend, ShuffledBatch, Shuffler, ShufflerConfig,
+    ShufflerStats, TrustedEngine,
+};

@@ -15,18 +15,18 @@ use prochlo_crypto::hybrid::HybridKeypair;
 use crate::analyzer::{Analyzer, AnalyzerDatabase};
 use crate::encoder::{ClientKeys, Encoder};
 use crate::error::PipelineError;
+use crate::exec;
 use crate::record::ClientReport;
 use crate::shuffler::split::SplitShuffler;
-use crate::shuffler::{Shuffler, ShufflerConfig, ShufflerStats};
+use crate::shuffler::{EngineConfig, Shuffler, ShufflerConfig, ShufflerStats};
 
 /// Derives the RNG a pipeline uses to process one epoch: a SplitMix64-style
-/// mix of the deployment seed and the epoch index, so consecutive epochs get
-/// uncorrelated streams and any epoch can be replayed in isolation.
+/// mix of the deployment seed and the epoch index (the same mix the chunked
+/// executor uses per chunk, see [`crate::exec::mix_seed`]), so consecutive
+/// epochs get uncorrelated streams and any epoch can be replayed in
+/// isolation.
 pub fn epoch_rng(seed: u64, epoch_index: u64) -> StdRng {
-    let mut z = seed ^ epoch_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
+    StdRng::seed_from_u64(exec::mix_seed(seed, epoch_index))
 }
 
 /// A single-shuffler ESA deployment running in one process.
@@ -95,7 +95,20 @@ impl Pipeline {
         reports: &[ClientReport],
         rng: &mut R,
     ) -> Result<PipelineReport, PipelineError> {
-        let batch = self.shuffler.process_batch(reports, rng)?;
+        self.run_batch_with_engine(&self.shuffler.config().engine_config(), reports, rng)
+    }
+
+    /// Runs one batch with an explicit shuffle-engine configuration,
+    /// overriding the shuffler's configured backend and thread count.
+    pub fn run_batch_with_engine<R: Rng + ?Sized>(
+        &self,
+        engine: &EngineConfig,
+        reports: &[ClientReport],
+        rng: &mut R,
+    ) -> Result<PipelineReport, PipelineError> {
+        let batch = self
+            .shuffler
+            .process_batch_with_engine(engine, reports, rng)?;
         let database = self.analyzer.ingest_items(&batch.items)?;
         Ok(PipelineReport {
             database,
@@ -117,8 +130,26 @@ impl Pipeline {
         reports: &[ClientReport],
         seed: u64,
     ) -> Result<PipelineReport, PipelineError> {
+        self.ingest_epoch_with_engine(
+            epoch_index,
+            reports,
+            seed,
+            &self.shuffler.config().engine_config(),
+        )
+    }
+
+    /// [`Self::ingest_epoch`] with an explicit engine configuration — the
+    /// hook a serving layer uses to thread its own backend selection and
+    /// thread count down to the engine without rebuilding the pipeline.
+    pub fn ingest_epoch_with_engine(
+        &self,
+        epoch_index: u64,
+        reports: &[ClientReport],
+        seed: u64,
+        engine: &EngineConfig,
+    ) -> Result<PipelineReport, PipelineError> {
         let mut rng = epoch_rng(seed, epoch_index);
-        self.run_batch(reports, &mut rng)
+        self.run_batch_with_engine(engine, reports, &mut rng)
     }
 }
 

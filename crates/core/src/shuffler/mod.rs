@@ -1,30 +1,54 @@
 //! The ESA shuffler: batching, metadata stripping, randomized cardinality
 //! thresholding and oblivious shuffling (§3.3, §3.5, §4.1).
+//!
+//! The batch pipeline is three explicit phases, each timed independently:
+//!
+//! 1. **peel** — outer-layer decryption, sharded across worker threads by
+//!    the chunked executor in [`crate::exec`] (embarrassingly parallel, no
+//!    randomness, canonical in-order merge);
+//! 2. **threshold** — randomized per-crowd drop and noisy cardinality
+//!    threshold, sequential because every noise draw must come off the
+//!    master epoch stream in crowd order;
+//! 3. **shuffle** — handed to a pluggable [`ShuffleEngine`] built from the
+//!    configured [`ShuffleBackend`]; the engine is seeded with exactly one
+//!    draw from the master stream, so the stream position never depends on
+//!    the backend or its internal parallelism.
 
+pub mod engine;
 pub mod split;
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use prochlo_crypto::hybrid::HybridKeypair;
 use prochlo_crypto::PublicKey;
 use prochlo_sgx::{CpuKey, Enclave, EnclaveConfig, Quote};
-use prochlo_shuffle::stash::identity_ingress;
-use prochlo_shuffle::{StashShuffle, StashShuffleParams};
+use prochlo_shuffle::StashShuffleParams;
+
+pub use prochlo_shuffle::engine::{EngineStats, ShuffleEngine};
 use prochlo_stats::{Gaussian, RoundedNormal};
 
 use crate::encoder::SHUFFLER_AAD;
 use crate::error::PipelineError;
+use crate::exec;
 use crate::record::{ClientReport, CrowdId, ShufflerEnvelope};
 
+pub use engine::TrustedEngine;
+
 /// Which shuffling backend the shuffler uses once the batch has been peeled
-/// and thresholded.
-#[derive(Debug, Clone)]
+/// and thresholded. This is the *configuration* of a backend; the live
+/// implementation behind it is a [`ShuffleEngine`] trait object built by
+/// [`ShuffleBackend::engine`], so all four backends are selectable at
+/// runtime (see [`ShuffleBackend::from_name`]).
+#[derive(Debug, Clone, Default)]
 pub enum ShuffleBackend {
-    /// A trusted in-memory Fisher–Yates shuffle (a shuffler hosted by an
-    /// independent third party, per §3.3).
+    /// A trusted in-memory shuffle (a shuffler hosted by an independent
+    /// third party, per §3.3), with parallel tag distribution.
+    #[default]
     Trusted,
     /// The SGX-hardened Stash Shuffle (§4.1.4); parameters are derived from
     /// the batch size when not given.
@@ -32,6 +56,54 @@ pub enum ShuffleBackend {
         /// Explicit Stash Shuffle parameters; `None` derives them per batch.
         params: Option<StashShuffleParams>,
     },
+    /// The oblivious Batcher sorting-network baseline (§4.1.3).
+    Batcher,
+    /// The Melbourne Shuffle baseline (§4.1.3); the whole permutation must
+    /// fit in enclave private memory.
+    Melbourne,
+}
+
+/// Runtime configuration of the shuffle engine: which backend to build and
+/// how many worker threads the parallel phases may use. This is the value a
+/// serving layer threads from its own configuration down through
+/// [`crate::pipeline::Pipeline::ingest_epoch_with_engine`] to the engine.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// The shuffle backend to run.
+    pub backend: ShuffleBackend,
+    /// Worker threads for the parallel phases; `0` defers to the
+    /// `PROCHLO_SHUFFLE_THREADS` environment knob, which itself defaults to
+    /// every available core (see [`crate::exec::resolve_threads`]).
+    pub num_threads: usize,
+}
+
+impl EngineConfig {
+    /// Builds an engine configuration from the environment:
+    /// `PROCHLO_SHUFFLE_BACKEND` selects the backend by name (default
+    /// `trusted`) and `num_threads` is left at `0` so the thread knob is
+    /// still parsed in its one place, [`crate::exec::shuffle_threads_from_env`].
+    ///
+    /// An unrecognized backend name falls back to the default like the other
+    /// environment knobs, but with a warning on stderr: silently downgrading
+    /// a typo'd `stash` to the non-oblivious trusted engine would drop the
+    /// very property the operator asked for.
+    pub fn from_env() -> Self {
+        let backend = match std::env::var("PROCHLO_SHUFFLE_BACKEND") {
+            Ok(name) => ShuffleBackend::from_name(&name).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: unrecognized PROCHLO_SHUFFLE_BACKEND {name:?} \
+                     (expected trusted|stash|batcher|melbourne); using the \
+                     non-oblivious default 'trusted'"
+                );
+                ShuffleBackend::default()
+            }),
+            Err(_) => ShuffleBackend::default(),
+        };
+        Self {
+            backend,
+            num_threads: 0,
+        }
+    }
 }
 
 /// Configuration of the shuffler's thresholding and batching behaviour.
@@ -53,6 +125,9 @@ pub struct ShufflerConfig {
     pub min_batch_size: usize,
     /// Shuffling backend.
     pub backend: ShuffleBackend,
+    /// Worker threads for the parallel batch phases; `0` defers to the
+    /// `PROCHLO_SHUFFLE_THREADS` environment knob (see [`EngineConfig`]).
+    pub num_threads: usize,
 }
 
 impl Default for ShufflerConfig {
@@ -64,6 +139,7 @@ impl Default for ShufflerConfig {
             drop_sigma: 2.0,
             min_batch_size: 1,
             backend: ShuffleBackend::Trusted,
+            num_threads: 0,
         }
     }
 }
@@ -89,10 +165,38 @@ impl ShufflerConfig {
         self.drop_sigma = 0.0;
         self
     }
+
+    /// The engine configuration embedded in this shuffler configuration.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            backend: self.backend.clone(),
+            num_threads: self.num_threads,
+        }
+    }
+}
+
+/// Wall-clock spent in each batch phase. Excluded from [`ShufflerStats`]
+/// equality: seeded replays must agree on every count while wall-clock
+/// naturally varies run to run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Outer-layer decryption (parallel).
+    pub peel_seconds: f64,
+    /// Randomized per-crowd thresholding (sequential).
+    pub threshold_seconds: f64,
+    /// The oblivious shuffle engine.
+    pub shuffle_seconds: f64,
+}
+
+impl PhaseTimings {
+    /// Total wall-clock across the three phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.peel_seconds + self.threshold_seconds + self.shuffle_seconds
+    }
 }
 
 /// Statistics describing what happened to one batch.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct ShufflerStats {
     /// Reports received in the batch.
     pub received: usize,
@@ -110,6 +214,27 @@ pub struct ShufflerStats {
     pub crowds_forwarded: usize,
     /// Attempts used by the oblivious shuffle backend (1 for trusted).
     pub shuffle_attempts: usize,
+    /// Name of the engine that shuffled the batch (empty before the shuffle
+    /// phase runs).
+    pub backend: &'static str,
+    /// Per-phase wall-clock (not part of equality).
+    pub timings: PhaseTimings,
+}
+
+/// Replay equality: every count and the backend must match; wall-clock
+/// timings are observational and deliberately ignored.
+impl PartialEq for ShufflerStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.received == other.received
+            && self.forwarded == other.forwarded
+            && self.dropped_noise == other.dropped_noise
+            && self.dropped_threshold == other.dropped_threshold
+            && self.rejected == other.rejected
+            && self.crowds_seen == other.crowds_seen
+            && self.crowds_forwarded == other.crowds_forwarded
+            && self.shuffle_attempts == other.shuffle_attempts
+            && self.backend == other.backend
+    }
 }
 
 /// The output the analyzer receives: anonymous, shuffled inner ciphertexts.
@@ -176,10 +301,28 @@ impl Shuffler {
         cpu.quote(&self.enclave, &self.public_key().to_bytes())
     }
 
-    /// Processes one batch end to end: peel, strip metadata, randomized
-    /// thresholding, oblivious shuffle.
+    /// Processes one batch end to end with the engine configured on this
+    /// shuffler: peel, strip metadata, randomized thresholding, oblivious
+    /// shuffle.
     pub fn process_batch<R: Rng + ?Sized>(
         &self,
+        reports: &[ClientReport],
+        rng: &mut R,
+    ) -> Result<ShuffledBatch, PipelineError> {
+        self.process_batch_with_engine(&self.config.engine_config(), reports, rng)
+    }
+
+    /// Processes one batch with an explicit engine configuration, overriding
+    /// the shuffler's own backend and thread count — the entry point a
+    /// serving layer uses to select backends at runtime.
+    ///
+    /// Output is a pure function of `(reports, rng)` for any thread count:
+    /// peeling is sharded over fixed-size chunks with an in-order merge, the
+    /// threshold draws stay on the caller's stream, and the engine is seeded
+    /// with exactly one draw from that stream.
+    pub fn process_batch_with_engine<R: Rng + ?Sized>(
+        &self,
+        engine: &EngineConfig,
         reports: &[ClientReport],
         rng: &mut R,
     ) -> Result<ShuffledBatch, PipelineError> {
@@ -193,46 +336,97 @@ impl Shuffler {
             received: reports.len(),
             ..ShufflerStats::default()
         };
+        let num_threads = exec::resolve_threads(engine.num_threads);
 
-        // Peel the outer layer inside the enclave; transport metadata is
-        // dropped here and never referenced again.
-        let mut envelopes: Vec<ShufflerEnvelope> = Vec::with_capacity(reports.len());
-        for report in reports {
-            self.enclave
-                .copy_in("shuffler-receive-report", 0, report.wire_len());
-            match report
-                .outer
-                .open(self.keys.secret(), SHUFFLER_AAD)
-                .ok()
-                .and_then(|bytes| ShufflerEnvelope::from_bytes(&bytes).ok())
-            {
-                Some(envelope) => envelopes.push(envelope),
-                None => stats.rejected += 1,
-            }
-        }
+        // Phase 1: peel the outer layer inside the enclave (parallel);
+        // transport metadata is dropped here and never referenced again.
+        let started = Instant::now();
+        let envelopes = self.peel(reports, num_threads, &mut stats);
+        stats.timings.peel_seconds = started.elapsed().as_secs_f64();
 
-        // Randomized cardinality thresholding per crowd (§3.5).
+        // Phase 2: randomized cardinality thresholding per crowd (§3.5).
+        let started = Instant::now();
         let survivors = self.threshold(envelopes, &mut stats, rng)?;
+        stats.timings.threshold_seconds = started.elapsed().as_secs_f64();
 
-        // Oblivious shuffle of the surviving inner ciphertexts.
-        let mut items: Vec<Vec<u8>> = survivors.into_iter().map(|e| e.inner).collect();
-        let attempts = match &self.config.backend {
-            ShuffleBackend::Trusted => {
-                items.shuffle(rng);
-                1
-            }
-            ShuffleBackend::Sgx { params } => {
-                let params = (*params).unwrap_or_else(|| StashShuffleParams::derive(items.len()));
-                let stash = StashShuffle::new(params, self.enclave.clone());
-                let output = stash.shuffle_with_ingress(&items, &identity_ingress, rng)?;
-                items = output.records;
-                output.attempts
-            }
-        };
+        // Phase 3: oblivious shuffle of the surviving inner ciphertexts.
+        let started = Instant::now();
+        let items = self.shuffle_survivors(engine, num_threads, survivors, &mut stats, rng)?;
+        stats.timings.shuffle_seconds = started.elapsed().as_secs_f64();
 
         stats.forwarded = items.len();
-        stats.shuffle_attempts = attempts;
         Ok(ShuffledBatch { items, stats })
+    }
+
+    /// Peels the outer encryption layer off every report, sharded across
+    /// `num_threads` workers over fixed-size chunks. The merge concatenates
+    /// chunk results in chunk order, so the surviving envelopes appear in
+    /// arrival order exactly as the sequential loop produced them, and the
+    /// enclave is charged once for the whole batch *after* the parallel
+    /// region so its accounting never depends on thread scheduling.
+    fn peel(
+        &self,
+        reports: &[ClientReport],
+        num_threads: usize,
+        stats: &mut ShufflerStats,
+    ) -> Vec<ShufflerEnvelope> {
+        let peeled = exec::par_chunks(
+            reports,
+            num_threads,
+            exec::CHUNK_RECORDS,
+            |_chunk_idx, chunk| {
+                let mut envelopes = Vec::with_capacity(chunk.len());
+                let mut rejected = 0usize;
+                let mut wire_bytes = 0usize;
+                for report in chunk {
+                    wire_bytes += report.wire_len();
+                    match report
+                        .outer
+                        .open(self.keys.secret(), SHUFFLER_AAD)
+                        .ok()
+                        .and_then(|bytes| ShufflerEnvelope::from_bytes(&bytes).ok())
+                    {
+                        Some(envelope) => envelopes.push(envelope),
+                        None => rejected += 1,
+                    }
+                }
+                (envelopes, rejected, wire_bytes)
+            },
+        );
+
+        let mut envelopes = Vec::with_capacity(reports.len());
+        let mut batch_bytes = 0usize;
+        for (chunk_envelopes, rejected, wire_bytes) in peeled {
+            envelopes.extend(chunk_envelopes);
+            stats.rejected += rejected;
+            batch_bytes += wire_bytes;
+        }
+        self.enclave
+            .copy_in("shuffler-receive-batch", 0, batch_bytes);
+        envelopes
+    }
+
+    /// Runs the configured engine over the surviving inner ciphertexts.
+    fn shuffle_survivors<R: Rng + ?Sized>(
+        &self,
+        engine: &EngineConfig,
+        num_threads: usize,
+        survivors: Vec<ShufflerEnvelope>,
+        stats: &mut ShufflerStats,
+        rng: &mut R,
+    ) -> Result<Vec<Vec<u8>>, PipelineError> {
+        let items: Vec<Vec<u8>> = survivors.into_iter().map(|e| e.inner).collect();
+        let engine_impl = engine.backend.engine(self.enclave.clone(), num_threads);
+        stats.backend = engine_impl.name();
+        // The engine consumes exactly one value from the master epoch
+        // stream and draws everything else from its own derived generator,
+        // so the stream's position after the shuffle is independent of the
+        // backend, its attempts, and its thread count.
+        let mut engine_rng = StdRng::seed_from_u64(rng.next_u64());
+        let mut engine_stats = EngineStats::default();
+        let items = engine_impl.shuffle(items, &mut engine_rng, &mut engine_stats)?;
+        stats.shuffle_attempts = engine_stats.attempts;
+        Ok(items)
     }
 
     /// Applies the per-crowd random drop and the noisy threshold, returning

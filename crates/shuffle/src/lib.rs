@@ -22,6 +22,8 @@
 //!   Opaque baseline); 8 passes but a hard maximum problem size.
 //! * [`cost`] — the shared cost-report type used by the §4.1.3 comparison
 //!   benchmark.
+//! * [`engine`] — the object-safe [`ShuffleEngine`] trait that makes every
+//!   shuffler here a runtime-selectable backend for the ESA pipeline.
 //!
 //! All real shuffler implementations run against a [`prochlo_sgx::Enclave`]
 //! so that private-memory budgets are enforced and boundary traffic / access
@@ -31,11 +33,13 @@ pub mod batcher;
 pub mod cascade;
 pub mod columnsort;
 pub mod cost;
+pub mod engine;
 pub mod error;
 pub mod melbourne;
 pub mod stash;
 
 pub use cost::{CostReport, ShuffleCostModel};
+pub use engine::{EngineStats, ShuffleEngine, StashEngine};
 pub use error::ShuffleError;
 pub use stash::{StashShuffle, StashShuffleOutput, StashShuffleParams};
 

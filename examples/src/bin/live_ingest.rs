@@ -7,20 +7,39 @@
 //! identical seeded traffic reproduces the histogram byte for byte, and a
 //! full report queue answers `RetryAfter` instead of growing.
 //!
+//! The shuffle engine is selected at runtime, no code changes required:
+//!
+//! * `PROCHLO_SHUFFLE_BACKEND` — `trusted` (default), `stash`, `batcher`
+//!   or `melbourne`;
+//! * `PROCHLO_SHUFFLE_THREADS` — worker threads for the parallel batch
+//!   phases (`0` or unset: every available core).
+//!
 //! Run with: `cargo run -p prochlo-examples --release --bin live_ingest`
 
 use std::time::Duration;
 
 use prochlo_collector::CollectorConfig;
+use prochlo_core::{exec, EngineConfig};
 use prochlo_examples::{run_backpressure_demo, run_live_ingest, QUICKSTART_BROWSERS};
 
 fn main() {
+    // The engine every epoch runs: backend from PROCHLO_SHUFFLE_BACKEND,
+    // worker threads from PROCHLO_SHUFFLE_THREADS (both parsed in one place
+    // inside prochlo-core).
+    let engine = EngineConfig::from_env();
+    println!(
+        "shuffle engine: backend={}, threads={}",
+        engine.backend.name(),
+        exec::resolve_threads(engine.num_threads),
+    );
+
     // Part 1: a multi-epoch live run. 8 client threads push 3000 reports;
     // the collector cuts an epoch every 1024 reports (or 200 ms).
     let config = CollectorConfig {
         worker_threads: 4,
         max_epoch_reports: 1024,
         epoch_deadline: Duration::from_millis(200),
+        engine: Some(engine.clone()),
         ..CollectorConfig::default()
     };
     let outcome = run_live_ingest(42, 8, 375, config);
@@ -37,17 +56,45 @@ fn main() {
     );
     for epoch in &outcome.summary.epochs {
         match &epoch.outcome {
-            Ok(report) => println!(
-                "  epoch {}: {} reports -> {} forwarded, {} crowds kept of {}",
-                epoch.index,
-                epoch.reports,
-                report.shuffler_stats.forwarded,
-                report.shuffler_stats.crowds_forwarded,
-                report.shuffler_stats.crowds_seen,
-            ),
+            Ok(report) => {
+                let s = &report.shuffler_stats;
+                println!(
+                    "  epoch {}: {} reports -> {} forwarded, {} crowds kept of {} \
+                     [{}: peel {:.1}ms | threshold {:.1}ms | shuffle {:.1}ms]",
+                    epoch.index,
+                    epoch.reports,
+                    s.forwarded,
+                    s.crowds_forwarded,
+                    s.crowds_seen,
+                    s.backend,
+                    s.timings.peel_seconds * 1e3,
+                    s.timings.threshold_seconds * 1e3,
+                    s.timings.shuffle_seconds * 1e3,
+                );
+            }
             Err(e) => println!("  epoch {}: failed: {e}", epoch.index),
         }
     }
+
+    // The analytic price of the selected backend, projected at this run's
+    // record count and at paper scale (§4.1.3's comparison metric). Both
+    // rows assume the paper's 318-byte records and 92 MB enclave — a
+    // projection, not a measurement of the 32-byte-payload run above.
+    for records in [stats.ingest.accepted as usize, 10_000_000] {
+        let cost = engine.backend.paper_cost_report(records);
+        println!(
+            "cost model [{}] at {} paper-sized records (318 B, 92 MB enclave): \
+             {:.1}x data processed, {} rounds, max N {}, feasible: {}",
+            cost.algorithm,
+            records,
+            cost.overhead_factor,
+            cost.rounds,
+            cost.max_records
+                .map_or("unbounded".to_string(), |m| m.to_string()),
+            cost.feasible,
+        );
+    }
+
     println!("\nanalyzer database (merged across epochs):");
     for (browser, _) in QUICKSTART_BROWSERS {
         println!(
@@ -59,11 +106,13 @@ fn main() {
 
     // Part 2: deterministic replay. A single-epoch configuration makes the
     // whole run a pure function of the seed; two runs must agree byte for
-    // byte on the canonical histogram.
+    // byte on the canonical histogram — whichever backend and thread count
+    // were selected above.
     let replay_config = || CollectorConfig {
         worker_threads: 4,
         max_epoch_reports: 3000,
         epoch_deadline: Duration::from_secs(600),
+        engine: Some(engine.clone()),
         ..CollectorConfig::default()
     };
     let first = run_live_ingest(7, 6, 500, replay_config());

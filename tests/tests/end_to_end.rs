@@ -53,7 +53,7 @@ fn vocab_pipeline_recovers_frequent_words_and_hides_rare_ones() {
 }
 
 #[test]
-fn sgx_backend_pipeline_matches_trusted_backend_multiset() {
+fn every_backend_pipeline_matches_trusted_backend_multiset() {
     let mut rng = StdRng::seed_from_u64(2);
     let run = |backend: ShuffleBackend, rng: &mut StdRng| {
         let config = ShufflerConfig {
@@ -85,9 +85,15 @@ fn sgx_backend_pipeline_matches_trusted_backend_multiset() {
         counts
     };
     let trusted = run(ShuffleBackend::Trusted, &mut rng);
-    let sgx = run(ShuffleBackend::Sgx { params: None }, &mut rng);
-    assert_eq!(trusted, sgx);
     assert_eq!(trusted.iter().map(|(_, c)| *c).sum::<u64>(), 200);
+    for backend in [
+        ShuffleBackend::Sgx { params: None },
+        ShuffleBackend::Batcher,
+        ShuffleBackend::Melbourne,
+    ] {
+        let name = backend.name();
+        assert_eq!(run(backend, &mut rng), trusted, "backend {name}");
+    }
 }
 
 #[test]
