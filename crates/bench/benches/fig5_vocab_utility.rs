@@ -14,7 +14,7 @@
 
 use prochlo_bench::{env_usize_list, fmt_records, print_header, timed};
 use prochlo_core::encoder::CrowdStrategy;
-use prochlo_core::{Pipeline, ShufflerConfig};
+use prochlo_core::{Deployment, ShufflerConfig};
 use prochlo_data::VocabCorpus;
 use prochlo_ldp::{PartitionedRappor, RapporAggregate, RapporEncoder, RapporParams};
 use rand::rngs::StdRng;
@@ -27,7 +27,11 @@ fn run_esa(corpus: &VocabCorpus, words: &[Vec<u8>], with_crowds: bool, rng: &mut
     } else {
         ShufflerConfig::default().without_thresholding()
     };
-    let pipeline = Pipeline::new(config, 32, rng).with_share_threshold(20);
+    let pipeline = Deployment::builder()
+        .config(config)
+        .payload_size(32)
+        .share_threshold(20)
+        .build(rng);
     let encoder = pipeline.encoder();
     let reports: Vec<_> = words
         .iter()
@@ -43,7 +47,7 @@ fn run_esa(corpus: &VocabCorpus, words: &[Vec<u8>], with_crowds: bool, rng: &mut
                 .expect("encode")
         })
         .collect();
-    let result = pipeline.run_batch(&reports, rng).expect("pipeline");
+    let result = pipeline.run(&reports, rng).expect("pipeline");
     let _ = corpus;
     result.database.distinct_values()
 }

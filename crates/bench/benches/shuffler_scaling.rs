@@ -1,7 +1,7 @@
 //! Thread-scaling sweep of the shuffler's parallel batch path.
 //!
 //! Encodes one batch of sealed reports, then runs the *same* batch through
-//! `Shuffler::process_batch_with_engine` at each requested worker count
+//! the deployment's `ShufflerRole::process` at each requested worker count
 //! (ascending), printing per-phase wall-clock and the speedup over the
 //! smallest count — with the default sweep, over one thread. The shuffler's
 //! output must be byte-identical at every thread count (asserted here on
@@ -16,8 +16,7 @@
 
 use prochlo_bench::{env_usize, env_usize_list, fmt_records, print_header, timed};
 use prochlo_core::encoder::CrowdStrategy;
-use prochlo_core::pipeline::epoch_rng;
-use prochlo_core::{exec, EngineConfig, Pipeline, ShufflerConfig};
+use prochlo_core::{epoch_rng, exec, Deployment, EngineConfig};
 
 fn main() {
     let records = env_usize("PROCHLO_SCALING_RECORDS", 100_000);
@@ -26,12 +25,17 @@ fn main() {
     let mut threads = env_usize_list("PROCHLO_SCALING_THREADS", &[1, 2, 4, 8]);
     threads.sort_unstable();
     threads.dedup();
-    let backend = EngineConfig::from_env().backend;
+    let backend = EngineConfig::from_env()
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+        .backend;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     use rand::SeedableRng;
-    let pipeline = Pipeline::new(ShufflerConfig::default(), 32, &mut rng);
-    let encoder = pipeline.encoder();
+    let deployment = Deployment::builder().payload_size(32).build(&mut rng);
+    let encoder = deployment.encoder();
 
     // Encode the batch once, in parallel across every available core (setup,
     // not the measurement). Eight distinct values, all in crowds far above
@@ -98,16 +102,16 @@ fn main() {
         // Every row replays the same epoch stream: identical noise draws,
         // identical output expected.
         let mut rng = epoch_rng(0xbe7c, 0);
-        let (batch, secs) = timed(|| {
-            pipeline
-                .shuffler()
-                .process_batch_with_engine(&engine, &reports, &mut rng)
+        let (outcome, secs) = timed(|| {
+            deployment
+                .role()
+                .process(&engine, &reports, &mut rng)
                 .expect("process batch")
         });
         match &reference_items {
-            None => reference_items = Some(batch.items),
+            None => reference_items = Some(outcome.items),
             Some(reference) => assert_eq!(
-                reference, &batch.items,
+                reference, &outcome.items,
                 "parallel output must be byte-identical to sequential"
             ),
         }
@@ -116,9 +120,9 @@ fn main() {
             "{:>7} | {:>7.2} | {:>6.2} | {:>8.3} | {:>9.3} | {:>6.2}x | {:>9.0}",
             num_threads,
             secs,
-            batch.stats.timings.peel_seconds,
-            batch.stats.timings.threshold_seconds,
-            batch.stats.timings.shuffle_seconds,
+            outcome.stats.timings.peel_seconds,
+            outcome.stats.timings.threshold_seconds,
+            outcome.stats.timings.shuffle_seconds,
             baseline / secs,
             records as f64 / secs,
         );

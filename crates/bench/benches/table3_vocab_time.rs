@@ -11,8 +11,7 @@
 
 use prochlo_bench::{env_usize, fmt_records, print_header, timed};
 use prochlo_core::encoder::CrowdStrategy;
-use prochlo_core::pipeline::SplitPipeline;
-use prochlo_core::{Pipeline, ShufflerConfig};
+use prochlo_core::{Deployment, Topology};
 use prochlo_data::VocabCorpus;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,9 +51,12 @@ fn main() {
             );
             continue;
         }
-        // Single-shuffler pipeline (hashed crowd IDs, secret-share encoding).
-        let pipeline =
-            Pipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(20);
+        // Single-shuffler deployment (hashed crowd IDs, secret-share
+        // encoding).
+        let pipeline = Deployment::builder()
+            .payload_size(32)
+            .share_threshold(20)
+            .build(&mut rng);
         let encoder = pipeline.encoder();
         let words = corpus.sample_words(clients, &mut rng);
         let (_, single_seconds) = timed(|| {
@@ -73,12 +75,15 @@ fn main() {
                         .expect("encode")
                 })
                 .collect();
-            pipeline.run_batch(&reports, &mut rng).expect("pipeline")
+            pipeline.run(&reports, &mut rng).expect("pipeline")
         });
 
-        // Two-shuffler pipeline with blinded crowd IDs.
-        let split =
-            SplitPipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(20);
+        // Two-shuffler deployment with blinded crowd IDs.
+        let split = Deployment::builder()
+            .shuffler(Topology::Split)
+            .payload_size(32)
+            .share_threshold(20)
+            .build(&mut rng);
         let split_encoder = split.encoder();
         let (_, split_seconds) = timed(|| {
             let reports: Vec<_> = words
@@ -96,7 +101,7 @@ fn main() {
                         .expect("encode")
                 })
                 .collect();
-            split.run_batch(&reports, &mut rng).expect("split pipeline")
+            split.run(&reports, &mut rng).expect("split pipeline")
         });
 
         let (p_enc_s1, p_s1_blind, p_s2_blind) = paper_seconds[idx];

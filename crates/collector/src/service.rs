@@ -11,9 +11,10 @@
 //!   clients beyond the pool size queue behind whole sessions; size the
 //!   pool for the expected connection concurrency (per-connection
 //!   multiplexing is a ROADMAP item).
-//! * **epoch** — owns the [`Pipeline`]; drains the report queue with a
-//!   count-or-deadline policy, canonicalizes each batch and runs it through
-//!   `Shuffler::process_batch` + analysis via [`Pipeline::ingest_epoch`].
+//! * **epoch** — owns the [`Deployment`]; drains the report queue with a
+//!   count-or-deadline policy and feeds each batch through an
+//!   [`prochlo_core::EpochSession`], which canonicalizes it and runs
+//!   shuffling + analysis under a deterministic [`EpochSpec`].
 //!
 //! Shutdown is graceful and ordered: stop accepting, let workers finish
 //! their connections, then close the report queue so the epoch manager
@@ -27,7 +28,9 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use prochlo_core::{AnalyzerDatabase, EngineConfig, Pipeline, PipelineError, PipelineReport};
+use prochlo_core::{
+    AnalyzerDatabase, Deployment, EngineConfig, EpochSpec, PipelineError, PipelineReport,
+};
 
 use crate::error::CollectorError;
 use crate::ingest::{IngestConfig, IngestCore, IngestStats};
@@ -60,13 +63,13 @@ pub struct CollectorConfig {
     /// Per-connection read/write timeout.
     pub io_timeout: Duration,
     /// Deployment seed; with the epoch index it fixes every noise draw
-    /// (see [`prochlo_core::pipeline::epoch_rng`]).
+    /// (see [`prochlo_core::epoch_rng`]).
     pub seed: u64,
-    /// Shuffle-engine override the epoch manager threads down to the
-    /// shuffler: backend selection plus worker-thread count. `None` uses
-    /// whatever the pipeline's shuffler was configured with. Either way the
-    /// thread count resolves through the `PROCHLO_SHUFFLE_THREADS` knob
-    /// when left at `0` (see [`prochlo_core::exec::resolve_threads`]).
+    /// Shuffle-engine override the epoch manager attaches to every
+    /// [`EpochSpec`]: backend selection plus worker-thread count. `None`
+    /// uses the deployment's own engine. Either way the thread count
+    /// resolves through the `PROCHLO_SHUFFLE_THREADS` knob when left at
+    /// `0` (see [`prochlo_core::exec::resolve_threads`]).
     pub engine: Option<EngineConfig>,
 }
 
@@ -156,7 +159,7 @@ impl CollectorSummary {
         let mut merged = AnalyzerDatabase::default();
         for epoch in &self.epochs {
             if let Ok(report) = &epoch.outcome {
-                merged.merge(report.database.clone());
+                merged.merge_from(&report.database);
             }
         }
         merged
@@ -175,9 +178,10 @@ pub struct Collector {
 }
 
 impl Collector {
-    /// Binds the listener and spawns the service threads. The pipeline moves
-    /// into the epoch manager, which becomes the only thread to touch it.
-    pub fn start(pipeline: Pipeline, config: CollectorConfig) -> Result<Self, CollectorError> {
+    /// Binds the listener and spawns the service threads. The deployment
+    /// moves into the epoch manager, which becomes the only thread to touch
+    /// it.
+    pub fn start(deployment: Deployment, config: CollectorConfig) -> Result<Self, CollectorError> {
         let listener = TcpListener::bind(config.addr)?;
         // Accept by polling rather than blocking: the accept loop re-checks
         // the shutdown flag between polls, so shutdown works for any bind
@@ -234,7 +238,7 @@ impl Collector {
             let config = config.clone();
             std::thread::Builder::new()
                 .name("collector-epoch".to_string())
-                .spawn(move || epoch_loop(pipeline, &shared, &config))?
+                .spawn(move || epoch_loop(deployment, &shared, &config))?
         };
 
         Ok(Self {
@@ -390,42 +394,42 @@ fn serve_connection(
     }
 }
 
-fn epoch_loop(pipeline: Pipeline, shared: &Shared, config: &CollectorConfig) {
+fn epoch_loop(deployment: Deployment, shared: &Shared, config: &CollectorConfig) {
     let queue = shared.ingest.queue();
-    let mut next_epoch = 0u64;
+    let mut spec = EpochSpec::new(0, config.seed);
+    if let Some(engine) = &config.engine {
+        spec = spec.with_engine(engine.clone());
+    }
     loop {
-        let mut batch = queue.drain_when(config.max_epoch_reports, config.epoch_deadline);
+        let batch = queue.drain_when(config.max_epoch_reports, config.epoch_deadline);
         if batch.is_empty() {
             if queue.is_closed() {
                 break;
             }
             continue;
         }
-        // Canonicalize before processing: ordering by ciphertext bytes (a)
-        // erases arrival order one stage before the shuffler even sees the
-        // batch, and (b) makes the batch a pure function of its *contents*,
-        // so identically-seeded runs replay identically regardless of
-        // client thread scheduling.
-        batch.sort_by_cached_key(|report| report.outer.to_bytes());
-        let outcome = match &config.engine {
-            Some(engine) => {
-                pipeline.ingest_epoch_with_engine(next_epoch, &batch, config.seed, engine)
-            }
-            None => pipeline.ingest_epoch(next_epoch, &batch, config.seed),
-        };
+        // An epoch session canonicalizes the batch at finish() (ordering by
+        // ciphertext bytes erases arrival order one stage before the
+        // shuffler even sees it, and makes the batch a pure function of its
+        // *contents*), so identically-seeded runs replay identically
+        // regardless of client thread scheduling.
+        let mut session = deployment.session(spec.clone());
+        session.extend(batch);
+        let reports = session.len();
+        let outcome = session.finish();
         shared
             .reports_processed
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            .fetch_add(reports as u64, Ordering::Relaxed);
         shared.epochs_cut.fetch_add(1, Ordering::Relaxed);
         shared.epochs.lock().push(EpochResult {
-            index: next_epoch,
-            reports: batch.len(),
+            index: spec.epoch_index,
+            reports,
             outcome,
         });
         // Age the replay filter with the epoch boundary so its memory and
         // its capacity headroom are tied to epochs, not process lifetime.
         shared.ingest.rotate_dedup();
-        next_epoch += 1;
+        spec = spec.next();
     }
 }
 
@@ -450,13 +454,12 @@ mod tests {
 
     fn start_collector(seed: u64, config: CollectorConfig) -> (Collector, prochlo_core::Encoder) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let pipeline = Pipeline::new(
-            ShufflerConfig::default().without_thresholding(),
-            32,
-            &mut rng,
-        );
-        let encoder = pipeline.encoder();
-        let collector = Collector::start(pipeline, config).unwrap();
+        let deployment = Deployment::builder()
+            .config(ShufflerConfig::default().without_thresholding())
+            .payload_size(32)
+            .build(&mut rng);
+        let encoder = deployment.encoder();
+        let collector = Collector::start(deployment, config).unwrap();
         (collector, encoder)
     }
 
@@ -594,8 +597,8 @@ mod tests {
         assert!(!summary.epochs.is_empty());
         for epoch in &summary.epochs {
             let report = epoch.outcome.as_ref().expect("epoch ok");
-            // The pipeline's shuffler defaults to "trusted"; the collector's
-            // engine override must win.
+            // The deployment's shuffler defaults to "trusted"; the
+            // collector's engine override must win.
             assert_eq!(report.shuffler_stats.backend, "batcher");
         }
     }

@@ -139,6 +139,18 @@ impl AnalyzerDatabase {
         self.rows.push(row);
     }
 
+    /// Builds a database directly from decrypted rows, bypassing the
+    /// cryptographic path — for merge tooling and tests that reason about
+    /// [`Self::merge`] and [`Self::canonical_histogram_bytes`] without
+    /// standing up a full deployment.
+    pub fn from_rows<I: IntoIterator<Item = Vec<u8>>>(rows: I) -> Self {
+        let mut db = Self::default();
+        for row in rows {
+            db.push_row(row);
+        }
+        db
+    }
+
     /// All decrypted rows (order carries no meaning).
     pub fn rows(&self) -> &[Vec<u8>] {
         &self.rows
@@ -195,6 +207,20 @@ impl AnalyzerDatabase {
     pub fn merge(&mut self, other: AnalyzerDatabase) {
         for row in other.rows {
             self.push_row(row);
+        }
+        self.undecryptable += other.undecryptable;
+        self.pending_secret_groups += other.pending_secret_groups;
+        self.pending_secret_reports += other.pending_secret_reports;
+        self.recovered_secrets += other.recovered_secrets;
+    }
+
+    /// [`Self::merge`] without consuming the other database — what
+    /// cross-shard and cross-epoch accumulation uses when the per-part
+    /// databases must stay available. Copies only the rows, not the other
+    /// database's histogram.
+    pub fn merge_from(&mut self, other: &AnalyzerDatabase) {
+        for row in &other.rows {
+            self.push_row(row.clone());
         }
         self.undecryptable += other.undecryptable;
         self.pending_secret_groups += other.pending_secret_groups;

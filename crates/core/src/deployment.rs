@@ -1,0 +1,1113 @@
+//! The deployment API: one orchestration surface for every ESA topology.
+//!
+//! The paper's architecture places encoders, one *or two* shufflers, and the
+//! analyzer in separate services; earlier revisions of this crate mirrored
+//! that split in the API itself (`Pipeline` vs `SplitPipeline`, each with
+//! `run_batch`/`ingest_epoch` plus `_with_engine` variants). This module
+//! replaces all of that with three pieces:
+//!
+//! * [`Deployment`] — built by [`DeploymentBuilder`], it owns a shuffling
+//!   topology behind the object-safe [`ShufflerRole`] trait (implemented by
+//!   [`Shuffler`] and [`SplitShuffler`]) plus the analyzer, so callers
+//!   construct and drive one type regardless of topology.
+//! * [`EpochSpec`] — a parameter object naming an epoch: its index, the
+//!   deployment seed, and an optional [`EngineConfig`] override. Exactly two
+//!   entry points consume reports: [`Deployment::run`] (caller-supplied RNG)
+//!   and [`Deployment::ingest`] (deterministic per-epoch RNG derived by
+//!   [`epoch_rng`]).
+//! * [`EpochSession`] / [`ShardedDeployment`] — the scale-out hooks: a
+//!   session accepts reports incrementally and canonicalizes the batch at
+//!   [`EpochSession::finish`]; a sharded deployment fans reports out to N
+//!   independent deployments by crowd-ID prefix and merges the resulting
+//!   databases analyzer-side via [`AnalyzerDatabase::merge`].
+//!
+//! Seeded behaviour is stable across the redesign:
+//! `deployment.ingest(&EpochSpec::new(e, seed), reports)` reproduces the
+//! pre-redesign `ingest_epoch(e, reports, seed)` canonical histogram byte
+//! for byte (pinned by the committed golden fixture in the integration
+//! suite).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use prochlo_crypto::edwards::Point;
+use prochlo_crypto::hybrid::HybridKeypair;
+use prochlo_crypto::sha256;
+use prochlo_crypto::PublicKey;
+
+use crate::analyzer::{Analyzer, AnalyzerDatabase};
+use crate::encoder::{ClientKeys, Encoder};
+use crate::error::PipelineError;
+use crate::exec;
+use crate::record::ClientReport;
+use crate::shuffler::split::SplitShuffler;
+use crate::shuffler::{EngineConfig, ShuffleOutcome, Shuffler, ShufflerConfig, ShufflerStats};
+
+/// Derives the RNG a deployment uses to process one epoch: a SplitMix64-style
+/// mix of the deployment seed and the epoch index (the same mix the chunked
+/// executor uses per chunk, see [`crate::exec::mix_seed`]), so consecutive
+/// epochs get uncorrelated streams and any epoch can be replayed in
+/// isolation.
+pub fn epoch_rng(seed: u64, epoch_index: u64) -> StdRng {
+    StdRng::seed_from_u64(exec::mix_seed(seed, epoch_index))
+}
+
+/// How many shuffler services stand between the encoders and the analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// One shuffler thresholding on hashed crowd IDs (§3.3).
+    #[default]
+    Single,
+    /// Two non-colluding shufflers thresholding on El Gamal-blinded crowd
+    /// IDs (§4.3).
+    Split,
+}
+
+/// The shuffling stage of a deployment, independent of topology.
+///
+/// Object-safe on purpose: a [`Deployment`] holds `Box<dyn ShufflerRole>`,
+/// so the single- and split-shuffler deployments are the same type to every
+/// caller, and future topologies (e.g. a shuffler cascade) plug in without
+/// another `*Pipeline` struct. The engine configuration is an explicit
+/// parameter — this is the one place backend and thread-count selection
+/// reaches the shuffle stage, which is what killed the `_with_engine`
+/// method variants.
+pub trait ShufflerRole: std::fmt::Debug + Send + Sync {
+    /// Which topology this role implements.
+    fn topology(&self) -> Topology;
+
+    /// The public key clients seal the outer encryption layer to.
+    fn outer_public_key(&self) -> &PublicKey;
+
+    /// The El Gamal key clients blind crowd IDs under, if this topology
+    /// uses blinding.
+    fn crowd_blinding_key(&self) -> Option<&Point> {
+        None
+    }
+
+    /// The engine configuration embedded in this role's own configuration,
+    /// used when neither the deployment nor the epoch overrides it.
+    fn default_engine(&self) -> EngineConfig;
+
+    /// Processes one batch through the whole shuffling stage: peel,
+    /// metadata stripping, randomized cardinality thresholding, oblivious
+    /// shuffle — however many services that takes in this topology.
+    fn process(
+        &self,
+        engine: &EngineConfig,
+        reports: &[ClientReport],
+        rng: &mut dyn RngCore,
+    ) -> Result<ShuffleOutcome, PipelineError>;
+}
+
+impl ShufflerRole for Shuffler {
+    fn topology(&self) -> Topology {
+        Topology::Single
+    }
+
+    fn outer_public_key(&self) -> &PublicKey {
+        self.public_key()
+    }
+
+    fn default_engine(&self) -> EngineConfig {
+        self.config().engine_config()
+    }
+
+    fn process(
+        &self,
+        engine: &EngineConfig,
+        reports: &[ClientReport],
+        rng: &mut dyn RngCore,
+    ) -> Result<ShuffleOutcome, PipelineError> {
+        let batch = self.process_batch_with(engine, reports, rng)?;
+        Ok(ShuffleOutcome {
+            items: batch.items,
+            stage_stats: vec![batch.stats.clone()],
+            stats: batch.stats,
+        })
+    }
+}
+
+impl ShufflerRole for SplitShuffler {
+    fn topology(&self) -> Topology {
+        Topology::Split
+    }
+
+    fn outer_public_key(&self) -> &PublicKey {
+        self.one.public_key()
+    }
+
+    fn crowd_blinding_key(&self) -> Option<&Point> {
+        Some(self.two.elgamal_public())
+    }
+
+    /// The engine embedded in the shuffler configuration — including a
+    /// configured non-trusted backend, which [`Self::process`] then rejects
+    /// loudly rather than silently running the inline shuffle instead of
+    /// the oblivious engine the configuration asked for.
+    fn default_engine(&self) -> EngineConfig {
+        self.two.config().engine_config()
+    }
+
+    /// The split topology shuffles inline in both stages (Shuffler 1 after
+    /// blinding, Shuffler 2 after thresholding) — effectively the trusted
+    /// in-memory shuffle; enclave-hosted engines for the split deployment
+    /// are a ROADMAP item. Selecting any other backend is therefore a hard
+    /// error: silently downgrading an oblivious-engine request to the
+    /// inline shuffle would be the same failure mode the
+    /// `PROCHLO_SHUFFLE_BACKEND` rejection exists to prevent. A
+    /// thread-count-only override is accepted (and currently has nothing to
+    /// parallelize).
+    fn process(
+        &self,
+        engine: &EngineConfig,
+        reports: &[ClientReport],
+        rng: &mut dyn RngCore,
+    ) -> Result<ShuffleOutcome, PipelineError> {
+        if !matches!(engine.backend, crate::shuffler::ShuffleBackend::Trusted) {
+            return Err(PipelineError::InvalidConfig(
+                "the split topology shuffles inline and does not support \
+                 enclave shuffle engines yet; use ShuffleBackend::Trusted \
+                 or the single topology",
+            ));
+        }
+        self.process_batch(reports, rng)
+    }
+}
+
+/// The outcome of running one batch through a deployment.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The database materialized by the analyzer.
+    pub database: AnalyzerDatabase,
+    /// The merged, batch-level view of what the shuffling stage did.
+    pub shuffler_stats: ShufflerStats,
+    /// Per-shuffler statistics, in pipeline order: one entry for the single
+    /// topology, two (Shuffler 1 then Shuffler 2) for the split topology.
+    pub stage_stats: Vec<ShufflerStats>,
+}
+
+/// Names one epoch of a deployment: which epoch, under which deployment
+/// seed, and optionally with which engine override.
+///
+/// `(seed, epoch_index)` fixes every noise draw the epoch makes (see
+/// [`epoch_rng`]), so an identically-specified replay of the same reports
+/// reproduces the analyzer's database byte for byte.
+///
+/// ```
+/// use prochlo_core::{Deployment, EpochSpec};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let deployment = Deployment::builder().build(&mut rng);
+/// let encoder = deployment.encoder();
+/// # let reports: Vec<prochlo_core::ClientReport> = (0..3)
+/// #     .map(|i| {
+/// #         encoder
+/// #             .encode_plain(b"v", prochlo_core::CrowdStrategy::None, i, &mut rng)
+/// #             .unwrap()
+/// #     })
+/// #     .collect();
+/// let spec = EpochSpec::new(7, 0xfeed);
+/// let a = deployment.ingest(&spec, &reports).unwrap();
+/// let b = deployment.ingest(&spec, &reports).unwrap();
+/// assert_eq!(
+///     a.database.canonical_histogram_bytes(),
+///     b.database.canonical_histogram_bytes()
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EpochSpec {
+    /// The epoch index, starting at 0.
+    pub epoch_index: u64,
+    /// The deployment seed the epoch RNG is derived from.
+    pub seed: u64,
+    /// Overrides the deployment's engine (backend + worker threads) for
+    /// this epoch only; `None` uses the deployment's default.
+    pub engine: Option<EngineConfig>,
+}
+
+impl EpochSpec {
+    /// A spec for `epoch_index` under `seed`, with no engine override.
+    pub fn new(epoch_index: u64, seed: u64) -> Self {
+        Self {
+            epoch_index,
+            seed,
+            engine: None,
+        }
+    }
+
+    /// Overrides the engine for this epoch.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The spec naming the next epoch (same seed and engine override).
+    pub fn next(&self) -> Self {
+        Self {
+            epoch_index: self.epoch_index + 1,
+            ..self.clone()
+        }
+    }
+}
+
+/// Configures and builds a [`Deployment`].
+///
+/// ```
+/// use prochlo_core::{Deployment, EngineConfig, ShuffleBackend, Topology};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let deployment = Deployment::builder()
+///     .payload_size(32)
+///     .shuffler(Topology::Split)
+///     .engine(EngineConfig {
+///         backend: ShuffleBackend::Sgx { params: None },
+///         num_threads: 2,
+///     })
+///     .share_threshold(10)
+///     .build(&mut rng);
+/// assert_eq!(deployment.topology(), Topology::Split);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeploymentBuilder {
+    topology: Topology,
+    config: ShufflerConfig,
+    payload_size: Option<usize>,
+    engine: Option<EngineConfig>,
+    share_threshold: Option<usize>,
+}
+
+/// The payload size used when the builder is not told otherwise — the
+/// 32-byte padding most of the paper's workloads use.
+pub const DEFAULT_PAYLOAD_SIZE: usize = 32;
+
+impl DeploymentBuilder {
+    /// Selects the shuffling topology (default [`Topology::Single`]).
+    pub fn shuffler(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the shuffler's thresholding/batching configuration (default
+    /// [`ShufflerConfig::default`], the paper's §5 parameters).
+    pub fn config(mut self, config: ShufflerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the fixed padded payload size clients encode to (default
+    /// [`DEFAULT_PAYLOAD_SIZE`]).
+    pub fn payload_size(mut self, bytes: usize) -> Self {
+        self.payload_size = Some(bytes);
+        self
+    }
+
+    /// Sets the deployment-level engine (backend + worker threads) every
+    /// batch runs with unless an [`EpochSpec`] overrides it. Without this,
+    /// the engine embedded in the shuffler configuration is used.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Sets the number of distinct shares the analyzer needs to recover a
+    /// secret-shared value (default: the analyzer's own default of 20).
+    pub fn share_threshold(mut self, threshold: usize) -> Self {
+        self.share_threshold = Some(threshold);
+        self
+    }
+
+    /// Generates fresh keys for every role and assembles the deployment.
+    ///
+    /// Key generation draws from `rng` in a fixed order (shuffler role
+    /// first, analyzer second — the same order the pre-redesign
+    /// constructors used), so seeded constructions reproduce the same keys
+    /// across versions.
+    pub fn build<R: Rng + ?Sized>(self, rng: &mut R) -> Deployment {
+        let role: Box<dyn ShufflerRole> = match self.topology {
+            Topology::Single => Box::new(Shuffler::new(self.config, rng)),
+            Topology::Split => Box::new(SplitShuffler::new(self.config, rng)),
+        };
+        let mut analyzer = Analyzer::new(HybridKeypair::generate(rng));
+        if let Some(threshold) = self.share_threshold {
+            analyzer = analyzer.with_share_threshold(threshold);
+        }
+        Deployment {
+            role,
+            analyzer,
+            payload_size: self.payload_size.unwrap_or(DEFAULT_PAYLOAD_SIZE),
+            engine: self.engine,
+        }
+    }
+}
+
+/// A complete ESA deployment — shuffling topology plus analyzer — running
+/// in one process.
+///
+/// Examples, tests, benches and the collector all construct this one type;
+/// the topology behind it is a [`ShufflerRole`] trait object selected at
+/// build time. A production deployment would place each role in a separate
+/// service (the paper's implementation uses gRPC between them); the
+/// collector crate is the serving front end for this in-process form.
+///
+/// ```
+/// use prochlo_core::{CrowdStrategy, Deployment};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let deployment = Deployment::builder().payload_size(32).build(&mut rng);
+/// let encoder = deployment.encoder();
+/// let reports: Vec<_> = (0..30u64)
+///     .map(|i| {
+///         encoder
+///             .encode_plain(b"chrome", CrowdStrategy::Hash(b"chrome"), i, &mut rng)
+///             .unwrap()
+///     })
+///     .collect();
+/// let report = deployment.run(&reports, &mut rng).unwrap();
+/// assert!(report.database.count(b"chrome") > 0);
+/// ```
+#[derive(Debug)]
+pub struct Deployment {
+    role: Box<dyn ShufflerRole>,
+    analyzer: Analyzer,
+    payload_size: usize,
+    engine: Option<EngineConfig>,
+}
+
+impl Deployment {
+    /// Starts configuring a deployment.
+    pub fn builder() -> DeploymentBuilder {
+        DeploymentBuilder::default()
+    }
+
+    /// Which topology this deployment runs.
+    pub fn topology(&self) -> Topology {
+        self.role.topology()
+    }
+
+    /// The shuffling stage (e.g. to drive it directly in a bench).
+    pub fn role(&self) -> &dyn ShufflerRole {
+        self.role.as_ref()
+    }
+
+    /// The analyzer role.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// The padded payload size clients encode to.
+    pub fn payload_size(&self) -> usize {
+        self.payload_size
+    }
+
+    /// The engine a batch runs with when its epoch does not override one:
+    /// the deployment-level engine if set, otherwise the engine embedded in
+    /// the shuffler configuration.
+    pub fn default_engine(&self) -> EngineConfig {
+        self.engine
+            .clone()
+            .unwrap_or_else(|| self.role.default_engine())
+    }
+
+    /// The keys a client encoder needs for this deployment (including the
+    /// El Gamal blinding key when the topology uses one).
+    pub fn client_keys(&self) -> ClientKeys {
+        ClientKeys {
+            shuffler: *self.role.outer_public_key(),
+            analyzer: *self.analyzer.public_key(),
+            crowd_blinding: self.role.crowd_blinding_key().copied(),
+        }
+    }
+
+    /// A ready-to-use encoder for this deployment.
+    pub fn encoder(&self) -> Encoder {
+        Encoder::new(self.client_keys(), self.payload_size)
+    }
+
+    /// Runs one batch of client reports through shuffling and analysis with
+    /// a caller-supplied RNG. For deterministic, replayable epochs use
+    /// [`Self::ingest`].
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        reports: &[ClientReport],
+        rng: &mut R,
+    ) -> Result<PipelineReport, PipelineError> {
+        // `&mut R` is itself an RngCore, so `&mut rng` unsizes to the
+        // trait object the object-safe role expects even when R is unsized.
+        let mut rng = rng;
+        self.run_with(&self.default_engine(), reports, &mut rng)
+    }
+
+    /// Runs one epoch with a deterministic RNG derived from the spec (see
+    /// [`epoch_rng`]): the randomness the batch consumes depends only on
+    /// `(spec.seed, spec.epoch_index)`, never on how many epochs ran before
+    /// it or on thread scheduling, so an identically-specified replay of
+    /// the same contents reproduces the shuffler's noise draws and the
+    /// analyzer's database byte for byte.
+    pub fn ingest(
+        &self,
+        spec: &EpochSpec,
+        reports: &[ClientReport],
+    ) -> Result<PipelineReport, PipelineError> {
+        let engine = spec.engine.clone().unwrap_or_else(|| self.default_engine());
+        let mut rng = epoch_rng(spec.seed, spec.epoch_index);
+        self.run_with(&engine, reports, &mut rng)
+    }
+
+    /// Opens a streaming session for one epoch; push reports as they
+    /// arrive, then [`EpochSession::finish`] the batch.
+    pub fn session(&self, spec: EpochSpec) -> EpochSession<'_> {
+        EpochSession {
+            deployment: self,
+            spec,
+            reports: Vec::new(),
+        }
+    }
+
+    fn run_with(
+        &self,
+        engine: &EngineConfig,
+        reports: &[ClientReport],
+        rng: &mut dyn RngCore,
+    ) -> Result<PipelineReport, PipelineError> {
+        let outcome = self.role.process(engine, reports, rng)?;
+        let database = self.analyzer.ingest_items(&outcome.items)?;
+        Ok(PipelineReport {
+            database,
+            shuffler_stats: outcome.stats,
+            stage_stats: outcome.stage_stats,
+        })
+    }
+}
+
+/// A streaming epoch: reports accumulate incrementally and are processed as
+/// one canonicalized batch when the session finishes.
+///
+/// [`Self::finish`] sorts the batch by outer-ciphertext bytes before
+/// ingesting it — the same canonicalization the collector applies — so the
+/// result is a pure function of the batch *contents* and the [`EpochSpec`],
+/// independent of arrival order.
+///
+/// ```
+/// use prochlo_core::{CrowdStrategy, Deployment, EpochSpec};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let deployment = Deployment::builder().build(&mut rng);
+/// let encoder = deployment.encoder();
+/// let mut session = deployment.session(EpochSpec::new(0, 42));
+/// for i in 0..25u64 {
+///     session.push(
+///         encoder
+///             .encode_plain(b"v", CrowdStrategy::Hash(b"v"), i, &mut rng)
+///             .unwrap(),
+///     );
+/// }
+/// let report = session.finish().unwrap();
+/// assert_eq!(report.shuffler_stats.received, 25);
+/// ```
+#[derive(Debug)]
+pub struct EpochSession<'a> {
+    deployment: &'a Deployment,
+    spec: EpochSpec,
+    reports: Vec<ClientReport>,
+}
+
+impl EpochSession<'_> {
+    /// The spec this session will finish under.
+    pub fn spec(&self) -> &EpochSpec {
+        &self.spec
+    }
+
+    /// Reports buffered so far.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether no report has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Buffers one report.
+    pub fn push(&mut self, report: ClientReport) {
+        self.reports.push(report);
+    }
+
+    /// Buffers a batch of reports.
+    pub fn extend<I: IntoIterator<Item = ClientReport>>(&mut self, reports: I) {
+        self.reports.extend(reports);
+    }
+
+    /// Canonicalizes the buffered batch (sorted by outer-ciphertext bytes,
+    /// erasing arrival order one stage before the shuffler even sees it)
+    /// and ingests it under the session's spec.
+    pub fn finish(self) -> Result<PipelineReport, PipelineError> {
+        let Self {
+            deployment,
+            spec,
+            mut reports,
+        } = self;
+        reports.sort_by_cached_key(|report| report.outer.to_bytes());
+        deployment.ingest(&spec, &reports)
+    }
+}
+
+/// The outcome of one sharded epoch.
+#[derive(Debug)]
+pub struct ShardedReport {
+    /// Every shard's database merged into the analyzer-side view.
+    pub database: AnalyzerDatabase,
+    /// Per-shard outcomes, indexed by shard; `None` for shards that
+    /// received no reports this epoch.
+    pub shards: Vec<Option<PipelineReport>>,
+}
+
+/// N independent deployments fronted as one: reports are partitioned by
+/// crowd-ID prefix, each shard ingests its partition under its own derived
+/// seed, and the analyzer-side databases are merged with
+/// [`AnalyzerDatabase::merge`] — the multi-collector ingestion shape the
+/// ROADMAP calls for, in-process.
+///
+/// Every shard has its **own keys**, so a client must encode against the
+/// shard its crowd maps to: [`Self::shard_for_crowd`] names the shard and
+/// [`Self::encoder_for`] hands back that shard's encoder. Routing uses the
+/// first eight bytes of `SHA-256(crowd label)` — the same hash
+/// [`crate::record::CrowdId::hashed`] attaches to reports — so a front-end
+/// router holding only hashed crowd IDs can route without seeing labels.
+///
+/// ```
+/// use prochlo_core::{CrowdStrategy, Deployment, EpochSpec, ShardedDeployment};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let sharded = ShardedDeployment::build(Deployment::builder(), 4, &mut rng);
+/// let mut batches = vec![Vec::new(); sharded.num_shards()];
+/// for i in 0..40u64 {
+///     let shard = sharded.shard_for_crowd(b"chrome");
+///     let report = sharded
+///         .encoder_for(b"chrome")
+///         .encode_plain(b"chrome", CrowdStrategy::Hash(b"chrome"), i, &mut rng)
+///         .unwrap();
+///     batches[shard].push(report);
+/// }
+/// let merged = sharded.ingest(&EpochSpec::new(0, 9), &batches).unwrap();
+/// assert!(merged.database.count(b"chrome") > 0);
+/// ```
+#[derive(Debug)]
+pub struct ShardedDeployment {
+    shards: Vec<Deployment>,
+}
+
+impl ShardedDeployment {
+    /// Builds `num_shards` deployments from one builder configuration, each
+    /// with fresh keys drawn from `rng` in shard order.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero.
+    pub fn build<R: Rng + ?Sized>(
+        builder: DeploymentBuilder,
+        num_shards: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(num_shards > 0, "a sharded deployment needs >= 1 shard");
+        let shards = (0..num_shards)
+            .map(|_| builder.clone().build(rng))
+            .collect();
+        Self { shards }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All shards, in index order.
+    pub fn shards(&self) -> &[Deployment] {
+        &self.shards
+    }
+
+    /// One shard's deployment.
+    pub fn shard(&self, index: usize) -> &Deployment {
+        &self.shards[index]
+    }
+
+    /// Which of `num_shards` shards a crowd label routes to: the first
+    /// eight bytes of `SHA-256(label)` (read big-endian) reduced modulo the
+    /// shard count, so shard counts far beyond 256 still receive traffic
+    /// and modulo bias is negligible for any practical count.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero — the same invariant [`Self::build`]
+    /// asserts; quietly remapping 0 would misroute every report.
+    pub fn shard_index(label: &[u8], num_shards: usize) -> usize {
+        assert!(num_shards > 0, "cannot route to zero shards");
+        let digest = sha256(label);
+        let prefix = u64::from_be_bytes(digest[..8].try_into().expect("8-byte prefix"));
+        (prefix % num_shards as u64) as usize
+    }
+
+    /// Which of this deployment's shards a crowd label routes to.
+    pub fn shard_for_crowd(&self, label: &[u8]) -> usize {
+        Self::shard_index(label, self.shards.len())
+    }
+
+    /// The encoder of the shard a crowd label routes to.
+    pub fn encoder_for(&self, label: &[u8]) -> Encoder {
+        self.shards[self.shard_for_crowd(label)].encoder()
+    }
+
+    /// Ingests one epoch across every shard and merges the analyzer-side
+    /// databases. `batches[i]` is shard `i`'s partition of the epoch;
+    /// `batches.len()` must equal the shard count. Shards with empty
+    /// batches are skipped (no epoch is charged to them).
+    ///
+    /// Each shard ingests under its own derived seed
+    /// (`mix_seed(spec.seed, shard)`, the same SplitMix64 mix as
+    /// [`epoch_rng`]), so the shards' noise draws are mutually uncorrelated
+    /// but the whole sharded epoch remains a pure function of
+    /// `(spec, batches)`. Shards are independent deployments, so populated
+    /// shards run on concurrent scoped threads, each with the resolved
+    /// worker-thread budget divided across them (a shard's internal
+    /// parallelism never changes its output, so the division is purely a
+    /// scheduling choice); the databases are still merged in shard-index
+    /// order, keeping the merged report byte-identical to a sequential
+    /// pass.
+    pub fn ingest(
+        &self,
+        spec: &EpochSpec,
+        batches: &[Vec<ClientReport>],
+    ) -> Result<ShardedReport, PipelineError> {
+        if batches.len() != self.shards.len() {
+            return Err(PipelineError::InvalidConfig(
+                "sharded ingest needs exactly one batch per shard",
+            ));
+        }
+        let populated = batches.iter().filter(|b| !b.is_empty()).count().max(1);
+        let outcomes: Vec<Option<Result<PipelineReport, PipelineError>>> =
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = self
+                    .shards
+                    .iter()
+                    .zip(batches)
+                    .enumerate()
+                    .map(|(index, (shard, batch))| {
+                        if batch.is_empty() {
+                            return None;
+                        }
+                        // Split the thread budget across the concurrently
+                        // running shards instead of letting every shard
+                        // resolve `0` to all available cores and
+                        // oversubscribe the machine shards-fold.
+                        let mut engine = spec
+                            .engine
+                            .clone()
+                            .unwrap_or_else(|| shard.default_engine());
+                        engine.num_threads =
+                            (exec::resolve_threads(engine.num_threads) / populated).max(1);
+                        let shard_spec = EpochSpec {
+                            epoch_index: spec.epoch_index,
+                            seed: exec::mix_seed(spec.seed, index as u64),
+                            engine: Some(engine),
+                        };
+                        Some(scope.spawn(move || shard.ingest(&shard_spec, batch)))
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|worker| worker.map(|w| w.join().expect("shard ingest worker")))
+                    .collect()
+            });
+        let mut database = AnalyzerDatabase::default();
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for outcome in outcomes {
+            match outcome {
+                None => shards.push(None),
+                Some(report) => {
+                    let report = report?;
+                    database.merge_from(&report.database);
+                    shards.push(Some(report));
+                }
+            }
+        }
+        Ok(ShardedReport { database, shards })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::CrowdStrategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn end_to_end_histogram_with_thresholding() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let deployment = Deployment::builder().payload_size(32).build(&mut rng);
+        let encoder = deployment.encoder();
+        let mut reports = Vec::new();
+        // 120 clients report "chrome", 6 report "obscure-browser".
+        for i in 0..120u64 {
+            reports.push(
+                encoder
+                    .encode_plain(b"chrome", CrowdStrategy::Hash(b"chrome"), i, &mut rng)
+                    .unwrap(),
+            );
+        }
+        for i in 0..6u64 {
+            reports.push(
+                encoder
+                    .encode_plain(
+                        b"obscure-browser",
+                        CrowdStrategy::Hash(b"obscure-browser"),
+                        200 + i,
+                        &mut rng,
+                    )
+                    .unwrap(),
+            );
+        }
+        let report = deployment.run(&reports, &mut rng).unwrap();
+        // The popular value survives (minus the random drop); the rare one is
+        // suppressed entirely by thresholding.
+        assert!(report.database.count(b"chrome") >= 100);
+        assert_eq!(report.database.count(b"obscure-browser"), 0);
+        assert_eq!(report.shuffler_stats.crowds_forwarded, 1);
+        assert_eq!(report.stage_stats.len(), 1);
+        assert_eq!(report.stage_stats[0], report.shuffler_stats);
+    }
+
+    #[test]
+    fn end_to_end_secret_shared_vocabulary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let deployment = Deployment::builder()
+            .config(ShufflerConfig::default().without_thresholding())
+            .payload_size(32)
+            .share_threshold(10)
+            .build(&mut rng);
+        let encoder = deployment.encoder();
+        let mut reports = Vec::new();
+        for i in 0..25u64 {
+            reports.push(
+                encoder
+                    .encode_secret_shared(b"frequent-word", 10, CrowdStrategy::None, i, &mut rng)
+                    .unwrap(),
+            );
+        }
+        for i in 0..4u64 {
+            reports.push(
+                encoder
+                    .encode_secret_shared(b"rare-word", 10, CrowdStrategy::None, 100 + i, &mut rng)
+                    .unwrap(),
+            );
+        }
+        let report = deployment.run(&reports, &mut rng).unwrap();
+        // The frequent word crosses the share threshold and is recovered; the
+        // rare word stays encrypted even though its reports were forwarded.
+        assert_eq!(report.database.count(b"frequent-word"), 25);
+        assert_eq!(report.database.count(b"rare-word"), 0);
+        assert_eq!(report.database.pending_secret_groups(), 1);
+        assert_eq!(report.database.pending_secret_reports(), 4);
+    }
+
+    #[test]
+    fn split_deployment_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let deployment = Deployment::builder()
+            .shuffler(Topology::Split)
+            .payload_size(32)
+            .build(&mut rng);
+        assert_eq!(deployment.topology(), Topology::Split);
+        assert!(deployment.client_keys().crowd_blinding.is_some());
+        let encoder = deployment.encoder();
+        let mut reports = Vec::new();
+        for i in 0..80u64 {
+            reports.push(
+                encoder
+                    .encode_plain(b"the", CrowdStrategy::Blind(b"the"), i, &mut rng)
+                    .unwrap(),
+            );
+        }
+        for i in 0..5u64 {
+            reports.push(
+                encoder
+                    .encode_plain(
+                        b"xylograph",
+                        CrowdStrategy::Blind(b"xylograph"),
+                        500 + i,
+                        &mut rng,
+                    )
+                    .unwrap(),
+            );
+        }
+        let report = deployment.run(&reports, &mut rng).unwrap();
+        assert!(report.database.count(b"the") >= 60);
+        assert_eq!(report.database.count(b"xylograph"), 0);
+        assert_eq!(report.shuffler_stats.crowds_seen, 2);
+        assert_eq!(report.shuffler_stats.crowds_forwarded, 1);
+        // Per-stage symmetry: both shufflers report their own stats.
+        assert_eq!(report.stage_stats.len(), 2);
+        assert_eq!(report.stage_stats[0].backend, "blind");
+        assert_eq!(report.stage_stats[0].received, 85);
+        assert_eq!(report.stage_stats[1].backend, "inline");
+        assert_eq!(
+            report.stage_stats[1].forwarded,
+            report.shuffler_stats.forwarded
+        );
+    }
+
+    #[test]
+    fn ingest_is_deterministic_per_epoch() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let deployment = Deployment::builder().payload_size(32).build(&mut rng);
+        let encoder = deployment.encoder();
+        let reports: Vec<_> = (0..60u64)
+            .map(|i| {
+                encoder
+                    .encode_plain(b"value", CrowdStrategy::Hash(b"value"), i, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        let spec = EpochSpec::new(3, 0xfeed);
+        let a = deployment.ingest(&spec, &reports).unwrap();
+        let b = deployment.ingest(&spec, &reports).unwrap();
+        assert_eq!(a.shuffler_stats, b.shuffler_stats);
+        assert_eq!(a.database.rows(), b.database.rows());
+        // A different epoch index draws different noise (drop counts differ
+        // with overwhelming probability over repeated epochs; assert the
+        // stats are not all identical across a spread of epochs).
+        let distinct: std::collections::HashSet<usize> = (0..16)
+            .map(|e| {
+                deployment
+                    .ingest(&EpochSpec::new(e, 0xfeed), &reports)
+                    .unwrap()
+                    .shuffler_stats
+                    .forwarded
+            })
+            .collect();
+        assert!(distinct.len() > 1, "epoch RNG streams should differ");
+    }
+
+    #[test]
+    fn epoch_rng_streams_are_stable_functions_of_seed_and_epoch() {
+        use rand::RngCore;
+        let mut a = epoch_rng(1, 2);
+        let mut b = epoch_rng(1, 2);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = epoch_rng(1, 3);
+        let mut d = epoch_rng(2, 2);
+        let first = epoch_rng(1, 2).next_u64();
+        assert_ne!(first, c.next_u64());
+        assert_ne!(first, d.next_u64());
+    }
+
+    #[test]
+    fn pipeline_report_combines_stats_and_database() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let deployment = Deployment::builder()
+            .config(ShufflerConfig::default().without_thresholding())
+            .payload_size(16)
+            .build(&mut rng);
+        let encoder = deployment.encoder();
+        let reports: Vec<_> = (0..10u64)
+            .map(|i| {
+                encoder
+                    .encode_plain(b"v", CrowdStrategy::None, i, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        let out = deployment.run(&reports, &mut rng).unwrap();
+        assert_eq!(out.shuffler_stats.received, 10);
+        assert_eq!(out.shuffler_stats.forwarded, 10);
+        assert_eq!(out.database.rows().len(), 10);
+    }
+
+    #[test]
+    fn epoch_spec_override_beats_deployment_engine() {
+        use crate::shuffler::ShuffleBackend;
+        let mut rng = StdRng::seed_from_u64(6);
+        let deployment = Deployment::builder()
+            .config(ShufflerConfig::default().without_thresholding())
+            .engine(EngineConfig {
+                backend: ShuffleBackend::Batcher,
+                num_threads: 1,
+            })
+            .build(&mut rng);
+        let encoder = deployment.encoder();
+        let reports: Vec<_> = (0..20u64)
+            .map(|i| {
+                encoder
+                    .encode_plain(b"v", CrowdStrategy::None, i, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        // Deployment-level engine applies by default...
+        let report = deployment.ingest(&EpochSpec::new(0, 1), &reports).unwrap();
+        assert_eq!(report.shuffler_stats.backend, "batcher");
+        // ...and the spec override wins over it.
+        let spec = EpochSpec::new(0, 1).with_engine(EngineConfig {
+            backend: ShuffleBackend::Melbourne,
+            num_threads: 1,
+        });
+        let report = deployment.ingest(&spec, &reports).unwrap();
+        assert_eq!(report.shuffler_stats.backend, "melbourne");
+        // The engine consumes exactly one master-stream draw regardless of
+        // backend, so the histogram does not depend on the override.
+        assert_eq!(
+            report.database.canonical_histogram_bytes(),
+            deployment
+                .ingest(&EpochSpec::new(0, 1), &reports)
+                .unwrap()
+                .database
+                .canonical_histogram_bytes()
+        );
+    }
+
+    #[test]
+    fn session_matches_ingest_of_canonicalized_batch() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let deployment = Deployment::builder().build(&mut rng);
+        let encoder = deployment.encoder();
+        let reports: Vec<_> = (0..40u64)
+            .map(|i| {
+                encoder
+                    .encode_plain(b"v", CrowdStrategy::Hash(b"v"), i, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        let spec = EpochSpec::new(2, 0xabc);
+
+        let mut sorted = reports.clone();
+        sorted.sort_by_cached_key(|r| r.outer.to_bytes());
+        let direct = deployment.ingest(&spec, &sorted).unwrap();
+
+        // Push in reverse arrival order: finish() canonicalizes, so the
+        // session must agree byte for byte with the sorted direct call.
+        let mut session = deployment.session(spec.clone());
+        assert!(session.is_empty());
+        let mut iter = reports.into_iter().rev();
+        session.push(iter.next().unwrap());
+        session.extend(iter);
+        assert_eq!(session.len(), 40);
+        assert_eq!(session.spec().epoch_index, 2);
+        let streamed = session.finish().unwrap();
+
+        assert_eq!(streamed.shuffler_stats, direct.shuffler_stats);
+        assert_eq!(streamed.database.rows(), direct.database.rows());
+    }
+
+    #[test]
+    fn split_topology_rejects_oblivious_engine_overrides_loudly() {
+        use crate::shuffler::ShuffleBackend;
+        let mut rng = StdRng::seed_from_u64(10);
+        let deployment = Deployment::builder()
+            .shuffler(Topology::Split)
+            .build(&mut rng);
+        let encoder = deployment.encoder();
+        let reports: Vec<_> = (0..30u64)
+            .map(|i| {
+                encoder
+                    .encode_plain(b"w", CrowdStrategy::Blind(b"w"), i, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        // Requesting an enclave engine the split topology cannot honor must
+        // fail, not silently run the inline shuffle.
+        let spec = EpochSpec::new(0, 1).with_engine(EngineConfig {
+            backend: ShuffleBackend::Sgx { params: None },
+            num_threads: 1,
+        });
+        assert!(matches!(
+            deployment.ingest(&spec, &reports),
+            Err(PipelineError::InvalidConfig(_))
+        ));
+        // A thread-count-only override (trusted backend) is accepted.
+        let spec = EpochSpec::new(0, 1).with_engine(EngineConfig {
+            backend: ShuffleBackend::Trusted,
+            num_threads: 4,
+        });
+        assert!(deployment.ingest(&spec, &reports).is_ok());
+
+        // A backend configured through ShufflerConfig — the field that
+        // works everywhere else — must be rejected just as loudly, not
+        // silently replaced by the inline shuffle.
+        let mut rng = StdRng::seed_from_u64(11);
+        let configured = Deployment::builder()
+            .shuffler(Topology::Split)
+            .config(ShufflerConfig {
+                backend: ShuffleBackend::Sgx { params: None },
+                ..ShufflerConfig::default()
+            })
+            .build(&mut rng);
+        let encoder = configured.encoder();
+        let reports: Vec<_> = (0..5u64)
+            .map(|i| {
+                encoder
+                    .encode_plain(b"w", CrowdStrategy::Blind(b"w"), i, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        assert!(matches!(
+            configured.run(&reports, &mut rng),
+            Err(PipelineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn sharded_routing_is_stable_and_total() {
+        for shards in [1usize, 3, 4, 7] {
+            for label in [&b"alpha"[..], b"beta", b"gamma", b""] {
+                let idx = ShardedDeployment::shard_index(label, shards);
+                assert!(idx < shards);
+                assert_eq!(idx, ShardedDeployment::shard_index(label, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_rejects_mismatched_batch_count() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let sharded = ShardedDeployment::build(Deployment::builder(), 3, &mut rng);
+        let err = sharded
+            .ingest(&EpochSpec::new(0, 1), &[Vec::new(), Vec::new()])
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn sharded_ingest_skips_empty_shards_and_merges_the_rest() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sharded = ShardedDeployment::build(
+            Deployment::builder().config(ShufflerConfig::default().without_thresholding()),
+            3,
+            &mut rng,
+        );
+        let mut batches = vec![Vec::new(); 3];
+        for i in 0..30u64 {
+            let shard = sharded.shard_for_crowd(b"only-crowd");
+            batches[shard].push(
+                sharded
+                    .encoder_for(b"only-crowd")
+                    .encode_plain(
+                        b"only-crowd",
+                        CrowdStrategy::Hash(b"only-crowd"),
+                        i,
+                        &mut rng,
+                    )
+                    .unwrap(),
+            );
+        }
+        let merged = sharded.ingest(&EpochSpec::new(0, 5), &batches).unwrap();
+        assert_eq!(merged.database.count(b"only-crowd"), 30);
+        let populated = merged.shards.iter().filter(|s| s.is_some()).count();
+        assert_eq!(populated, 1, "only one shard received reports");
+    }
+}

@@ -29,6 +29,14 @@ pub enum PipelineError {
     },
     /// A configuration value is inconsistent.
     InvalidConfig(&'static str),
+    /// A shuffle-backend name (e.g. from `PROCHLO_SHUFFLE_BACKEND`) did not
+    /// match any selectable backend. The display lists the valid names from
+    /// [`crate::shuffler::ShuffleBackend::all`] so a typo'd knob fails loudly
+    /// instead of silently downgrading to a different backend.
+    UnknownBackend {
+        /// The name that failed to parse.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -44,6 +52,17 @@ impl std::fmt::Display for PipelineError {
                 write!(f, "payload of {actual} bytes exceeds maximum {maximum}")
             }
             PipelineError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            PipelineError::UnknownBackend { name } => {
+                let valid: Vec<&str> = crate::shuffler::ShuffleBackend::all()
+                    .iter()
+                    .map(|b| b.name())
+                    .collect();
+                write!(
+                    f,
+                    "unknown shuffle backend {name:?} (valid backends: {})",
+                    valid.join(", ")
+                )
+            }
         }
     }
 }

@@ -11,7 +11,7 @@
 //!    boundaries, so a chunk's result is the same at 1 thread and at 64.
 //! 2. **Derived randomness and a canonical merge.** A chunk that needs
 //!    randomness derives its own generator from `(phase seed, chunk index)`
-//!    via the same SplitMix64 mix as [`crate::pipeline::epoch_rng`], and
+//!    via the same SplitMix64 mix as [`crate::deployment::epoch_rng`], and
 //!    results are merged in chunk-index order after the parallel region.
 //!
 //! The `PROCHLO_SHUFFLE_THREADS` environment knob is parsed in exactly one
@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn mix_seed_matches_the_epoch_rng_derivation() {
         use rand::SeedableRng;
-        let mut direct = crate::pipeline::epoch_rng(42, 7);
+        let mut direct = crate::deployment::epoch_rng(42, 7);
         let mut via_mix = StdRng::seed_from_u64(mix_seed(42, 7));
         assert_eq!(direct.next_u64(), via_mix.next_u64());
     }

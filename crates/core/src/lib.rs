@@ -25,28 +25,33 @@
 //!
 //! [`privacy`] computes the differential-privacy guarantees each stage
 //! provides (the (2.25, 10⁻⁶) figure of §5, the (1.2, 10⁻⁷) figure of §5.3,
-//! randomized-response ε, and their composition); [`pipeline`] wires the
-//! three stages together for in-process experiments and examples.
+//! randomized-response ε, and their composition); [`deployment`] wires the
+//! three stages together behind one topology-agnostic orchestration API
+//! ([`Deployment`], [`EpochSpec`], [`EpochSession`], [`ShardedDeployment`])
+//! for in-process experiments, examples, and the collector's serving layer.
 
 pub mod analyzer;
+pub mod deployment;
 pub mod encoder;
 pub mod error;
 pub mod exec;
-pub mod pipeline;
 pub mod privacy;
 pub mod record;
 pub mod shuffler;
 pub mod wire;
 
 pub use analyzer::{Analyzer, AnalyzerDatabase};
+pub use deployment::{
+    epoch_rng, Deployment, DeploymentBuilder, EpochSession, EpochSpec, PipelineReport,
+    ShardedDeployment, ShardedReport, ShufflerRole, Topology,
+};
 pub use encoder::{ClientKeys, CrowdStrategy, Encoder};
 pub use error::PipelineError;
-pub use pipeline::{Pipeline, PipelineReport};
 pub use privacy::{GaussianThresholdPrivacy, PrivacyAccountant, PrivacyGuarantee};
 pub use prochlo_shuffle::engine::{EngineStats, ShuffleEngine};
 pub use prochlo_shuffle::CostReport;
 pub use record::{AnalyzerPayload, ClientReport, CrowdId, ShufflerEnvelope, TransportMetadata};
 pub use shuffler::{
-    EngineConfig, PhaseTimings, ShuffleBackend, ShuffledBatch, Shuffler, ShufflerConfig,
-    ShufflerStats, TrustedEngine,
+    EngineConfig, PhaseTimings, ShuffleBackend, ShuffleOutcome, ShuffledBatch, Shuffler,
+    ShufflerConfig, ShufflerStats, TrustedEngine,
 };

@@ -65,8 +65,8 @@ pub enum ShuffleBackend {
 
 /// Runtime configuration of the shuffle engine: which backend to build and
 /// how many worker threads the parallel phases may use. This is the value a
-/// serving layer threads from its own configuration down through
-/// [`crate::pipeline::Pipeline::ingest_epoch_with_engine`] to the engine.
+/// serving layer threads from its own configuration down through a
+/// [`crate::deployment::EpochSpec`] override to the engine.
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
     /// The shuffle backend to run.
@@ -83,26 +83,40 @@ impl EngineConfig {
     /// `trusted`) and `num_threads` is left at `0` so the thread knob is
     /// still parsed in its one place, [`crate::exec::shuffle_threads_from_env`].
     ///
-    /// An unrecognized backend name falls back to the default like the other
-    /// environment knobs, but with a warning on stderr: silently downgrading
-    /// a typo'd `stash` to the non-oblivious trusted engine would drop the
-    /// very property the operator asked for.
-    pub fn from_env() -> Self {
-        let backend = match std::env::var("PROCHLO_SHUFFLE_BACKEND") {
-            Ok(name) => ShuffleBackend::from_name(&name).unwrap_or_else(|| {
-                eprintln!(
-                    "warning: unrecognized PROCHLO_SHUFFLE_BACKEND {name:?} \
-                     (expected trusted|stash|batcher|melbourne); using the \
-                     non-oblivious default 'trusted'"
-                );
-                ShuffleBackend::default()
+    /// An unrecognized backend name is a hard error
+    /// ([`PipelineError::UnknownBackend`], listing every valid name):
+    /// silently downgrading a typo'd `stash` to the non-oblivious trusted
+    /// engine would drop the very property the operator asked for.
+    pub fn from_env() -> Result<Self, PipelineError> {
+        match std::env::var("PROCHLO_SHUFFLE_BACKEND") {
+            Ok(name) => Self::from_backend_value(Some(&name)),
+            Err(std::env::VarError::NotPresent) => Self::from_backend_value(None),
+            // A set-but-undecodable value is still a selection the operator
+            // made; treating it as unset would silently downgrade to the
+            // default backend.
+            Err(std::env::VarError::NotUnicode(raw)) => Err(PipelineError::UnknownBackend {
+                name: raw.to_string_lossy().into_owned(),
             }),
-            Err(_) => ShuffleBackend::default(),
+        }
+    }
+
+    /// Interprets one `PROCHLO_SHUFFLE_BACKEND`-style value: absent means
+    /// the default backend; anything else must name a backend exactly
+    /// (case-insensitive, see [`ShuffleBackend::from_name`]) or the call
+    /// fails with [`PipelineError::UnknownBackend`].
+    pub fn from_backend_value(value: Option<&str>) -> Result<Self, PipelineError> {
+        let backend = match value {
+            Some(name) => {
+                ShuffleBackend::from_name(name).ok_or_else(|| PipelineError::UnknownBackend {
+                    name: name.to_string(),
+                })?
+            }
+            None => ShuffleBackend::default(),
         };
-        Self {
+        Ok(Self {
             backend,
             num_threads: 0,
-        }
+        })
     }
 }
 
@@ -247,6 +261,22 @@ pub struct ShuffledBatch {
     pub stats: ShufflerStats,
 }
 
+/// What a shuffling topology hands the analyzer, regardless of how many
+/// shuffler services stood between the clients and it: the shuffled inner
+/// ciphertexts, a merged batch-level view, and one [`ShufflerStats`] per
+/// shuffler stage (one entry for the single shuffler, two for the split
+/// deployment — Shuffler 1 then Shuffler 2).
+#[derive(Debug, Clone)]
+pub struct ShuffleOutcome {
+    /// Shuffled inner ciphertexts (still sealed to the analyzer).
+    pub items: Vec<Vec<u8>>,
+    /// The merged, batch-level statistics (what [`ShuffledBatch::stats`]
+    /// reported before the topologies were unified).
+    pub stats: ShufflerStats,
+    /// Per-stage statistics, in pipeline order.
+    pub stage_stats: Vec<ShufflerStats>,
+}
+
 /// A single-organization ESA shuffler.
 #[derive(Debug, Clone)]
 pub struct Shuffler {
@@ -303,24 +333,27 @@ impl Shuffler {
 
     /// Processes one batch end to end with the engine configured on this
     /// shuffler: peel, strip metadata, randomized thresholding, oblivious
-    /// shuffle.
+    /// shuffle. To select a backend or thread count at runtime instead,
+    /// go through the deployment API ([`crate::deployment::EpochSpec`]
+    /// carries the override) or the [`crate::deployment::ShufflerRole`]
+    /// trait, whose `process` method takes the engine explicitly.
     pub fn process_batch<R: Rng + ?Sized>(
         &self,
         reports: &[ClientReport],
         rng: &mut R,
     ) -> Result<ShuffledBatch, PipelineError> {
-        self.process_batch_with_engine(&self.config.engine_config(), reports, rng)
+        self.process_batch_with(&self.config.engine_config(), reports, rng)
     }
 
     /// Processes one batch with an explicit engine configuration, overriding
-    /// the shuffler's own backend and thread count — the entry point a
-    /// serving layer uses to select backends at runtime.
+    /// the shuffler's own backend and thread count — reached from outside
+    /// the crate through [`crate::deployment::ShufflerRole::process`].
     ///
     /// Output is a pure function of `(reports, rng)` for any thread count:
     /// peeling is sharded over fixed-size chunks with an in-order merge, the
     /// threshold draws stay on the caller's stream, and the engine is seeded
     /// with exactly one draw from that stream.
-    pub fn process_batch_with_engine<R: Rng + ?Sized>(
+    pub(crate) fn process_batch_with<R: Rng + ?Sized>(
         &self,
         engine: &EngineConfig,
         reports: &[ClientReport],
@@ -537,6 +570,34 @@ mod tests {
                     .unwrap()
             })
             .collect()
+    }
+
+    #[test]
+    fn engine_config_rejects_unknown_backend_names_listing_valid_ones() {
+        for valid in ShuffleBackend::all() {
+            let parsed = EngineConfig::from_backend_value(Some(valid.name())).unwrap();
+            assert_eq!(parsed.backend.name(), valid.name());
+            assert_eq!(parsed.num_threads, 0);
+        }
+        assert_eq!(
+            EngineConfig::from_backend_value(None)
+                .unwrap()
+                .backend
+                .name(),
+            ShuffleBackend::default().name()
+        );
+        let err = EngineConfig::from_backend_value(Some("fisher-yates")).unwrap_err();
+        match &err {
+            PipelineError::UnknownBackend { name } => assert_eq!(name, "fisher-yates"),
+            other => panic!("expected UnknownBackend, got {other:?}"),
+        }
+        // The message enumerates every valid name from ShuffleBackend::all(),
+        // so an operator can fix the knob without reading source.
+        let message = err.to_string();
+        assert!(message.contains("fisher-yates"), "{message}");
+        for valid in ShuffleBackend::all() {
+            assert!(message.contains(valid.name()), "{message}");
+        }
     }
 
     #[test]

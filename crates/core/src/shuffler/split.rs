@@ -16,6 +16,7 @@
 //!   ciphertexts to the analyzer.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -29,7 +30,7 @@ use prochlo_stats::{Gaussian, RoundedNormal};
 use crate::encoder::SHUFFLER_AAD;
 use crate::error::PipelineError;
 use crate::record::{ClientReport, CrowdId, ShufflerEnvelope};
-use crate::shuffler::{ShufflerConfig, ShufflerStats};
+use crate::shuffler::{ShuffleOutcome, ShufflerConfig, ShufflerStats};
 
 /// A report in transit between the two shufflers: the blinded crowd ID plus
 /// the untouched inner ciphertext.
@@ -76,13 +77,20 @@ impl ShufflerOne {
         self.keys.public_key()
     }
 
-    /// Peels, blinds and shuffles one batch, forwarding blinded records.
+    /// Peels, blinds and shuffles one batch, forwarding blinded records
+    /// together with this stage's own [`ShufflerStats`].
+    ///
+    /// Shuffler 1 never observes crowd IDs (that is the point of blinding),
+    /// so `crowds_seen`/`crowds_forwarded` stay `0` in its stats and the
+    /// thresholding counters are always zero; its stage is accounted under
+    /// the backend name `"blind"`.
     pub fn process_batch<R: Rng + ?Sized>(
         &self,
         reports: &[ClientReport],
         elgamal_public: &Point,
         rng: &mut R,
-    ) -> Result<(Vec<BlindedRecord>, usize), PipelineError> {
+    ) -> Result<(Vec<BlindedRecord>, ShufflerStats), PipelineError> {
+        let started = Instant::now();
         let blinding = BlindingSecret::random(rng);
         let mut rejected = 0usize;
         let mut records = Vec::with_capacity(reports.len());
@@ -113,8 +121,20 @@ impl ShufflerOne {
                 inner: envelope.inner,
             });
         }
+        let peel_seconds = started.elapsed().as_secs_f64();
+        let shuffle_started = Instant::now();
         records.shuffle(rng);
-        Ok((records, rejected))
+        let mut stats = ShufflerStats {
+            received: reports.len(),
+            forwarded: records.len(),
+            rejected,
+            shuffle_attempts: 1,
+            backend: "blind",
+            ..ShufflerStats::default()
+        };
+        stats.timings.peel_seconds = peel_seconds;
+        stats.timings.shuffle_seconds = shuffle_started.elapsed().as_secs_f64();
+        Ok((records, stats))
     }
 }
 
@@ -133,6 +153,11 @@ impl ShufflerTwo {
         self.elgamal.public_key()
     }
 
+    /// The thresholding configuration this shuffler applies.
+    pub fn config(&self) -> &ShufflerConfig {
+        &self.config
+    }
+
     /// Unblinds crowd IDs to pseudonymous handles, applies randomized
     /// thresholding and shuffles.
     pub fn process_batch<R: Rng + ?Sized>(
@@ -140,8 +165,10 @@ impl ShufflerTwo {
         records: Vec<BlindedRecord>,
         rng: &mut R,
     ) -> Result<(Vec<Vec<u8>>, ShufflerStats), PipelineError> {
+        let started = Instant::now();
         let mut stats = ShufflerStats {
             received: records.len(),
+            backend: "inline",
             ..ShufflerStats::default()
         };
 
@@ -157,6 +184,9 @@ impl ShufflerTwo {
             inners.push(record.inner);
         }
         stats.crowds_seen = groups.len();
+        // Unblinding to handles is this stage's "peel".
+        stats.timings.peel_seconds = started.elapsed().as_secs_f64();
+        let threshold_started = Instant::now();
 
         let drop_dist = if self.config.drop_mean > 0.0 || self.config.drop_sigma > 0.0 {
             Some(RoundedNormal::new(
@@ -189,6 +219,9 @@ impl ShufflerTwo {
             }
         }
 
+        stats.timings.threshold_seconds = threshold_started.elapsed().as_secs_f64();
+
+        let shuffle_started = Instant::now();
         let keep_set: std::collections::HashSet<usize> = keep.into_iter().collect();
         let mut survivors: Vec<Vec<u8>> = inners
             .into_iter()
@@ -198,6 +231,7 @@ impl ShufflerTwo {
         survivors.shuffle(rng);
         stats.forwarded = survivors.len();
         stats.shuffle_attempts = 1;
+        stats.timings.shuffle_seconds = shuffle_started.elapsed().as_secs_f64();
         Ok((survivors, stats))
     }
 }
@@ -211,19 +245,35 @@ impl SplitShuffler {
         }
     }
 
-    /// Runs a batch through both shufflers.
+    /// Runs a batch through both shufflers, returning the shuffled inner
+    /// ciphertexts with both a merged batch-level view and the per-stage
+    /// statistics of each shuffler (Shuffler 1 first).
     pub fn process_batch<R: Rng + ?Sized>(
         &self,
         reports: &[ClientReport],
         rng: &mut R,
-    ) -> Result<(Vec<Vec<u8>>, ShufflerStats), PipelineError> {
-        let (blinded, rejected) =
+    ) -> Result<ShuffleOutcome, PipelineError> {
+        let (blinded, stage_one) =
             self.one
                 .process_batch(reports, self.two.elgamal_public(), rng)?;
-        let (items, mut stats) = self.two.process_batch(blinded, rng)?;
-        stats.rejected = rejected;
+        let (items, stage_two) = self.two.process_batch(blinded, rng)?;
+        // The merged view preserves the pre-redesign contract: batch-level
+        // counts span both stages (received is what entered Shuffler 1,
+        // rejected is what its peel refused), everything else is the
+        // thresholding stage's accounting. Timings combine phase-wise
+        // across the stages.
+        let mut stats = stage_two.clone();
+        stats.rejected = stage_one.rejected;
         stats.received = reports.len();
-        Ok((items, stats))
+        stats.timings.peel_seconds =
+            stage_one.timings.peel_seconds + stage_two.timings.peel_seconds;
+        stats.timings.shuffle_seconds =
+            stage_one.timings.shuffle_seconds + stage_two.timings.shuffle_seconds;
+        Ok(ShuffleOutcome {
+            items,
+            stats,
+            stage_stats: vec![stage_one, stage_two],
+        })
     }
 }
 
@@ -266,10 +316,20 @@ mod tests {
         let (encoder, split, _analyzer) = setup(&mut rng);
         let mut reports = blinded_reports(&encoder, b"common-word", 120, &mut rng);
         reports.extend(blinded_reports(&encoder, b"rare-word", 4, &mut rng));
-        let (items, stats) = split.process_batch(&reports, &mut rng).unwrap();
-        assert_eq!(stats.crowds_seen, 2);
-        assert_eq!(stats.crowds_forwarded, 1);
+        let outcome = split.process_batch(&reports, &mut rng).unwrap();
+        assert_eq!(outcome.stats.crowds_seen, 2);
+        assert_eq!(outcome.stats.crowds_forwarded, 1);
+        let items = &outcome.items;
         assert!(items.len() >= 100 && items.len() <= 115, "{}", items.len());
+        // Per-stage symmetry: Shuffler 1 saw every report but no crowds;
+        // Shuffler 2 did the thresholding.
+        assert_eq!(outcome.stage_stats.len(), 2);
+        assert_eq!(outcome.stage_stats[0].backend, "blind");
+        assert_eq!(outcome.stage_stats[0].received, 124);
+        assert_eq!(outcome.stage_stats[0].crowds_seen, 0);
+        assert_eq!(outcome.stage_stats[1].backend, "inline");
+        assert_eq!(outcome.stage_stats[1].crowds_seen, 2);
+        assert_eq!(outcome.stage_stats[1].forwarded, outcome.stats.forwarded);
     }
 
     #[test]
@@ -301,8 +361,9 @@ mod tests {
                 .encode_plain(b"w", CrowdStrategy::Hash(b"w"), 99, &mut rng)
                 .unwrap(),
         );
-        let (_, stats) = split.process_batch(&reports, &mut rng).unwrap();
-        assert_eq!(stats.rejected, 1);
+        let outcome = split.process_batch(&reports, &mut rng).unwrap();
+        assert_eq!(outcome.stats.rejected, 1);
+        assert_eq!(outcome.stage_stats[0].rejected, 1);
     }
 
     #[test]
@@ -310,13 +371,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let (encoder, split, analyzer) = setup(&mut rng);
         let reports = blinded_reports(&encoder, b"hello-world", 60, &mut rng);
-        let (items, stats) = split.process_batch(&reports, &mut rng).unwrap();
-        assert!(stats.forwarded > 20);
+        let outcome = split.process_batch(&reports, &mut rng).unwrap();
+        assert!(outcome.stats.forwarded > 20);
         let analyzer_obj = crate::analyzer::Analyzer::new(analyzer);
-        let db = analyzer_obj.ingest_items(&items).unwrap();
+        let db = analyzer_obj.ingest_items(&outcome.items).unwrap();
         assert_eq!(
             db.histogram().count(&b"hello-world".to_vec()),
-            items.len() as u64
+            outcome.items.len() as u64
         );
     }
 }

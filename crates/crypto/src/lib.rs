@@ -6,7 +6,7 @@
 //! reproduction guidelines ask for every substrate to be built rather than
 //! mocked, so this crate implements the required primitives directly:
 //!
-//! * [`sha256`] — SHA-256 with round constants derived at start-up from the
+//! * [`mod@sha256`] — SHA-256 with round constants derived at start-up from the
 //!   integer square/cube roots of the first primes (no hard-coded tables to
 //!   mistype), plus [`hmac`] and [`hkdf`].
 //! * [`chacha20`] — the ChaCha20 stream cipher, and [`aead`] — an

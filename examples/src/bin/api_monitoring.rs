@@ -11,7 +11,7 @@
 //! Run with: `cargo run -p prochlo-examples --release --bin api_monitoring`
 
 use prochlo_core::encoder::CrowdStrategy;
-use prochlo_core::{Pipeline, ShufflerConfig};
+use prochlo_core::Deployment;
 use prochlo_stats::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,7 +29,7 @@ const APIS: &[&str] = &[
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
-    let pipeline = Pipeline::new(ShufflerConfig::default(), 48, &mut rng);
+    let pipeline = Deployment::builder().payload_size(48).build(&mut rng);
     let encoder = pipeline.encoder();
 
     // 400 clients run apps with Zipfian popularity; each app uses a subset of
@@ -79,7 +79,7 @@ fn main() {
         client_id += 1;
     }
 
-    let result = pipeline.run_batch(&reports, &mut rng).expect("pipeline");
+    let result = pipeline.run(&reports, &mut rng).expect("pipeline");
     println!(
         "{} fragments reported by {} clients; {} forwarded after thresholding\n",
         reports.len(),

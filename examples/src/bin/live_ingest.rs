@@ -25,8 +25,13 @@ use prochlo_examples::{run_backpressure_demo, run_live_ingest, QUICKSTART_BROWSE
 fn main() {
     // The engine every epoch runs: backend from PROCHLO_SHUFFLE_BACKEND,
     // worker threads from PROCHLO_SHUFFLE_THREADS (both parsed in one place
-    // inside prochlo-core).
-    let engine = EngineConfig::from_env();
+    // inside prochlo-core). A typo'd backend name is fatal — silently
+    // shuffling with a different engine than the operator asked for would
+    // be worse than refusing to start.
+    let engine = EngineConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     println!(
         "shuffle engine: backend={}, threads={}",
         engine.backend.name(),

@@ -9,8 +9,7 @@
 //! Run with: `cargo run -p prochlo-examples --release --bin vocab_words`
 
 use prochlo_core::encoder::CrowdStrategy;
-use prochlo_core::pipeline::SplitPipeline;
-use prochlo_core::ShufflerConfig;
+use prochlo_core::{Deployment, Topology};
 use prochlo_data::VocabCorpus;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,8 +18,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2024);
     let clients = 3_000usize;
 
-    let pipeline =
-        SplitPipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(20);
+    let pipeline = Deployment::builder()
+        .shuffler(Topology::Split)
+        .payload_size(32)
+        .share_threshold(20)
+        .build(&mut rng);
     let encoder = pipeline.encoder();
     let corpus = VocabCorpus::new(5_000, 1.05);
 
@@ -36,7 +38,7 @@ fn main() {
         })
         .collect();
 
-    let result = pipeline.run_batch(&reports, &mut rng).expect("pipeline");
+    let result = pipeline.run(&reports, &mut rng).expect("pipeline");
     let db = &result.database;
     println!(
         "shuffler 1 + 2: {} crowds seen, {} forwarded, {} reports dropped below threshold",

@@ -10,7 +10,7 @@ use prochlo_collector::{
     Collector, CollectorClient, CollectorConfig, CollectorSummary, Response, NONCE_LEN,
 };
 use prochlo_core::encoder::CrowdStrategy;
-use prochlo_core::{AnalyzerDatabase, Encoder, Pipeline, PipelineReport, ShufflerConfig};
+use prochlo_core::{AnalyzerDatabase, Deployment, Encoder, PipelineReport, ShufflerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -32,8 +32,8 @@ pub fn run_quickstart(seed: u64) -> PipelineReport {
 
     // A shuffler (threshold 20, Gaussian noise) and an analyzer, each with
     // their own keypair; payloads are padded to 32 bytes before encryption.
-    let pipeline = Pipeline::new(ShufflerConfig::default(), 32, &mut rng);
-    let encoder = pipeline.encoder();
+    let deployment = Deployment::builder().payload_size(32).build(&mut rng);
+    let encoder = deployment.encoder();
 
     // Clients encode their reports. The crowd ID is a hash of the reported
     // value, so rare values never reach the analyzer at all.
@@ -56,9 +56,7 @@ pub fn run_quickstart(seed: u64) -> PipelineReport {
         }
     }
 
-    pipeline
-        .run_batch(&reports, &mut rng)
-        .expect("pipeline run")
+    deployment.run(&reports, &mut rng).expect("pipeline run")
 }
 
 /// What a live-ingestion run produced.
@@ -91,13 +89,13 @@ pub fn run_live_ingest(
     collector_config: CollectorConfig,
 ) -> LiveIngestOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
-    let pipeline = Pipeline::new(ShufflerConfig::default(), 32, &mut rng);
-    let client_keys = pipeline.client_keys();
+    let deployment = Deployment::builder().payload_size(32).build(&mut rng);
+    let client_keys = deployment.client_keys();
     let payload_size = 32;
 
     let mut config = collector_config;
     config.seed = seed;
-    let collector = Collector::start(pipeline, config).expect("start collector");
+    let collector = Collector::start(deployment, config).expect("start collector");
     let addr = collector.local_addr();
 
     let clients: Vec<_> = (0..client_threads)
@@ -176,12 +174,11 @@ pub fn run_backpressure_demo(
 ) -> BackpressureOutcome {
     assert!(submissions > capacity, "demo needs an overflow");
     let mut rng = StdRng::seed_from_u64(seed);
-    let pipeline = Pipeline::new(
-        ShufflerConfig::default().without_thresholding(),
-        32,
-        &mut rng,
-    );
-    let encoder = pipeline.encoder();
+    let deployment = Deployment::builder()
+        .config(ShufflerConfig::default().without_thresholding())
+        .payload_size(32)
+        .build(&mut rng);
+    let encoder = deployment.encoder();
     let config = CollectorConfig {
         queue_capacity: capacity,
         // Unreachable count and a deadline far past the test: no epoch is
@@ -192,7 +189,7 @@ pub fn run_backpressure_demo(
         seed,
         ..CollectorConfig::default()
     };
-    let collector = Collector::start(pipeline, config).expect("start collector");
+    let collector = Collector::start(deployment, config).expect("start collector");
     let mut client = CollectorClient::connect(collector.local_addr()).expect("connect");
 
     let mut acks = 0;

@@ -3,7 +3,7 @@
 
 use prochlo_core::encoder::{ClientKeys, CrowdStrategy, Encoder, ANALYZER_AAD, SHUFFLER_AAD};
 use prochlo_core::record::ShufflerEnvelope;
-use prochlo_core::{Pipeline, ShufflerConfig};
+use prochlo_core::{Deployment, ShufflerConfig};
 use prochlo_crypto::hybrid::{HybridCiphertext, HybridKeypair};
 use prochlo_crypto::{mle, shamir};
 use prochlo_sgx::{AttestationAuthority, QuoteVerifier};
@@ -54,11 +54,10 @@ fn compromised_analyzer_cannot_link_reports_to_metadata() {
     // pipeline output must contain no transport metadata and no arrival
     // ordering correlation.
     let mut rng = StdRng::seed_from_u64(2);
-    let pipeline = Pipeline::new(
-        ShufflerConfig::default().without_thresholding(),
-        16,
-        &mut rng,
-    );
+    let pipeline = Deployment::builder()
+        .config(ShufflerConfig::default().without_thresholding())
+        .payload_size(16)
+        .build(&mut rng);
     let encoder = pipeline.encoder();
     let reports: Vec<_> = (0..300u64)
         .map(|i| {
@@ -72,7 +71,7 @@ fn compromised_analyzer_cannot_link_reports_to_metadata() {
                 .unwrap()
         })
         .collect();
-    let result = pipeline.run_batch(&reports, &mut rng).unwrap();
+    let result = pipeline.run(&reports, &mut rng).unwrap();
     // Rows are not in arrival order (overwhelmingly likely after a shuffle of
     // 300 distinct items).
     let arrival: Vec<Vec<u8>> = (0..300u64)
@@ -157,7 +156,7 @@ fn sybil_crowd_inflation_is_visible_in_stats_but_thresholding_still_applies() {
     // the shuffler statistics expose the inflated crowd, and honest crowds
     // are unaffected.
     let mut rng = StdRng::seed_from_u64(5);
-    let pipeline = Pipeline::new(ShufflerConfig::default(), 32, &mut rng);
+    let pipeline = Deployment::builder().payload_size(32).build(&mut rng);
     let encoder = pipeline.encoder();
     let mut reports = Vec::new();
     for i in 0..40u64 {
@@ -179,7 +178,7 @@ fn sybil_crowd_inflation_is_visible_in_stats_but_thresholding_still_applies() {
                 .unwrap(),
         );
     }
-    let result = pipeline.run_batch(&reports, &mut rng).unwrap();
+    let result = pipeline.run(&reports, &mut rng).unwrap();
     assert_eq!(result.shuffler_stats.crowds_seen, 2);
     assert!(result.database.count(b"honest-value") > 20);
 }

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use prochlo_collector::{Collector, CollectorClient, CollectorConfig, Response, NONCE_LEN};
 use prochlo_core::encoder::CrowdStrategy;
-use prochlo_core::{Pipeline, ShufflerConfig};
+use prochlo_core::{Deployment, ShufflerConfig};
 use prochlo_examples::{run_backpressure_demo, run_live_ingest};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -75,11 +75,10 @@ fn full_queue_yields_retry_after_not_acceptance() {
 #[test]
 fn replayed_reports_are_counted_once() {
     let mut rng = StdRng::seed_from_u64(77);
-    let pipeline = Pipeline::new(
-        ShufflerConfig::default().without_thresholding(),
-        32,
-        &mut rng,
-    );
+    let pipeline = Deployment::builder()
+        .config(ShufflerConfig::default().without_thresholding())
+        .payload_size(32)
+        .build(&mut rng);
     let encoder = pipeline.encoder();
     let config = CollectorConfig {
         worker_threads: 1,
@@ -115,11 +114,10 @@ fn replayed_reports_are_counted_once() {
 #[test]
 fn shutdown_drains_partial_epochs() {
     let mut rng = StdRng::seed_from_u64(88);
-    let pipeline = Pipeline::new(
-        ShufflerConfig::default().without_thresholding(),
-        32,
-        &mut rng,
-    );
+    let pipeline = Deployment::builder()
+        .config(ShufflerConfig::default().without_thresholding())
+        .payload_size(32)
+        .build(&mut rng);
     let encoder = pipeline.encoder();
     // Neither the count nor the deadline can trigger during the test; only
     // the graceful-shutdown drain can cut the epoch.

@@ -3,8 +3,7 @@
 //! analyzer, on realistic workloads from the data generators.
 
 use prochlo_core::encoder::CrowdStrategy;
-use prochlo_core::pipeline::SplitPipeline;
-use prochlo_core::{Pipeline, ShuffleBackend, ShufflerConfig};
+use prochlo_core::{Deployment, ShuffleBackend, ShufflerConfig, Topology};
 use prochlo_data::VocabCorpus;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -12,7 +11,10 @@ use rand::SeedableRng;
 #[test]
 fn vocab_pipeline_recovers_frequent_words_and_hides_rare_ones() {
     let mut rng = StdRng::seed_from_u64(1);
-    let pipeline = Pipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(20);
+    let pipeline = Deployment::builder()
+        .payload_size(32)
+        .share_threshold(20)
+        .build(&mut rng);
     let encoder = pipeline.encoder();
     let corpus = VocabCorpus::new(500, 1.2);
 
@@ -26,7 +28,7 @@ fn vocab_pipeline_recovers_frequent_words_and_hides_rare_ones() {
                 .unwrap()
         })
         .collect();
-    let result = pipeline.run_batch(&reports, &mut rng).unwrap();
+    let result = pipeline.run(&reports, &mut rng).unwrap();
 
     // The most popular word certainly clears both the crowd threshold and the
     // share threshold.
@@ -60,7 +62,10 @@ fn every_backend_pipeline_matches_trusted_backend_multiset() {
             backend,
             ..ShufflerConfig::default().without_thresholding()
         };
-        let pipeline = Pipeline::new(config, 24, rng);
+        let pipeline = Deployment::builder()
+            .config(config)
+            .payload_size(24)
+            .build(rng);
         let encoder = pipeline.encoder();
         let reports: Vec<_> = (0..200u64)
             .map(|i| {
@@ -74,7 +79,7 @@ fn every_backend_pipeline_matches_trusted_backend_multiset() {
                     .unwrap()
             })
             .collect();
-        let result = pipeline.run_batch(&reports, rng).unwrap();
+        let result = pipeline.run(&reports, rng).unwrap();
         let mut counts: Vec<(Vec<u8>, u64)> = result
             .database
             .histogram()
@@ -99,8 +104,11 @@ fn every_backend_pipeline_matches_trusted_backend_multiset() {
 #[test]
 fn split_pipeline_blinded_crowds_end_to_end() {
     let mut rng = StdRng::seed_from_u64(3);
-    let pipeline =
-        SplitPipeline::new(ShufflerConfig::default(), 32, &mut rng).with_share_threshold(5);
+    let pipeline = Deployment::builder()
+        .shuffler(Topology::Split)
+        .payload_size(32)
+        .share_threshold(5)
+        .build(&mut rng);
     let encoder = pipeline.encoder();
     let mut reports = Vec::new();
     for i in 0..150u64 {
@@ -129,7 +137,7 @@ fn split_pipeline_blinded_crowds_end_to_end() {
                 .unwrap(),
         );
     }
-    let result = pipeline.run_batch(&reports, &mut rng).unwrap();
+    let result = pipeline.run(&reports, &mut rng).unwrap();
     assert!(result.database.count(b"popular-url") >= 120);
     assert_eq!(result.database.count(b"secret-url"), 0);
 }
@@ -137,11 +145,10 @@ fn split_pipeline_blinded_crowds_end_to_end() {
 #[test]
 fn multiple_batches_merge_into_one_database() {
     let mut rng = StdRng::seed_from_u64(4);
-    let pipeline = Pipeline::new(
-        ShufflerConfig::default().without_thresholding(),
-        16,
-        &mut rng,
-    );
+    let pipeline = Deployment::builder()
+        .config(ShufflerConfig::default().without_thresholding())
+        .payload_size(16)
+        .build(&mut rng);
     let encoder = pipeline.encoder();
     let mut merged = None;
     for day in 0..3u64 {
@@ -157,7 +164,7 @@ fn multiple_batches_merge_into_one_database() {
                     .unwrap()
             })
             .collect();
-        let result = pipeline.run_batch(&reports, &mut rng).unwrap();
+        let result = pipeline.run(&reports, &mut rng).unwrap();
         match &mut merged {
             None => merged = Some(result.database),
             Some(db) => db.merge(result.database),

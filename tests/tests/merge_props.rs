@@ -1,0 +1,110 @@
+//! Property tests for [`AnalyzerDatabase::merge`] over the canonical
+//! histogram bytes: associativity and order-independence are what make
+//! cross-shard merging ([`prochlo_core::ShardedDeployment`]) well-defined —
+//! the analyzer may combine shard databases in any grouping and any order
+//! and always publish the same histogram.
+
+use prochlo_core::AnalyzerDatabase;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random rows over a tiny value universe: collisions are
+/// frequent, which is where merge bugs would hide (counts, not just
+/// presence, must combine correctly).
+fn rows_from_seed(seed: u64, len: usize) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let row_len = rng.gen_range(0..3usize);
+            (0..row_len).map(|_| rng.gen_range(0u8..4)).collect()
+        })
+        .collect()
+}
+
+fn merged(parts: &[&AnalyzerDatabase]) -> AnalyzerDatabase {
+    let mut out = AnalyzerDatabase::default();
+    for part in parts {
+        out.merge((*part).clone());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn prop_merge_is_associative(
+        seed in any::<u64>(),
+        la in 0usize..12,
+        lb in 0usize..12,
+        lc in 0usize..12,
+    ) {
+        let da = AnalyzerDatabase::from_rows(rows_from_seed(seed, la));
+        let db = AnalyzerDatabase::from_rows(rows_from_seed(seed ^ 0xb, lb));
+        let dc = AnalyzerDatabase::from_rows(rows_from_seed(seed ^ 0xc, lc));
+        // (a ⊔ b) ⊔ c
+        let mut left = merged(&[&da, &db]);
+        left.merge(dc.clone());
+        // a ⊔ (b ⊔ c)
+        let mut right = da.clone();
+        right.merge(merged(&[&db, &dc]));
+        prop_assert_eq!(
+            left.canonical_histogram_bytes(),
+            right.canonical_histogram_bytes()
+        );
+        prop_assert_eq!(left.rows().len(), right.rows().len());
+    }
+
+    #[test]
+    fn prop_merge_is_order_independent(
+        seed in any::<u64>(),
+        parts in 1usize..6,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let mut sizer = StdRng::seed_from_u64(seed ^ 0x512e);
+        let dbs: Vec<AnalyzerDatabase> = (0..parts)
+            .map(|i| {
+                let len = sizer.gen_range(0..10usize);
+                AnalyzerDatabase::from_rows(rows_from_seed(seed ^ i as u64, len))
+            })
+            .collect();
+        let forward = merged(&dbs.iter().collect::<Vec<_>>());
+        // A seeded permutation of the merge order.
+        let mut order: Vec<usize> = (0..dbs.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+        let permuted = merged(&order.iter().map(|&i| &dbs[i]).collect::<Vec<_>>());
+        prop_assert_eq!(
+            forward.canonical_histogram_bytes(),
+            permuted.canonical_histogram_bytes()
+        );
+    }
+
+    #[test]
+    fn prop_merge_counts_add(
+        seed in any::<u64>(),
+        la in 0usize..12,
+        lb in 0usize..12,
+    ) {
+        let a = rows_from_seed(seed, la);
+        let b = rows_from_seed(seed ^ 0xbeef, lb);
+        let da = AnalyzerDatabase::from_rows(a.clone());
+        let db = AnalyzerDatabase::from_rows(b.clone());
+        let all = merged(&[&da, &db]);
+        for row in a.iter().chain(b.iter()) {
+            let expected = a.iter().filter(|r| *r == row).count() as u64
+                + b.iter().filter(|r| *r == row).count() as u64;
+            prop_assert_eq!(all.count(row), expected);
+        }
+        prop_assert_eq!(all.rows().len(), a.len() + b.len());
+        // The borrowing variant is equivalent to the consuming one.
+        let mut borrowed = AnalyzerDatabase::default();
+        borrowed.merge_from(&da);
+        borrowed.merge_from(&db);
+        prop_assert_eq!(
+            borrowed.canonical_histogram_bytes(),
+            all.canonical_histogram_bytes()
+        );
+    }
+}

@@ -6,7 +6,9 @@ use std::time::Duration;
 
 use prochlo_collector::{Collector, CollectorClient, CollectorConfig, Response, NONCE_LEN};
 use prochlo_core::encoder::CrowdStrategy;
-use prochlo_core::{EngineConfig, Pipeline, ShuffleBackend, ShufflerConfig, ShufflerStats};
+use prochlo_core::{
+    Deployment, EngineConfig, EpochSpec, ShuffleBackend, ShufflerConfig, ShufflerStats,
+};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -20,7 +22,10 @@ fn seeded_run(backend: &ShuffleBackend, num_threads: usize) -> (Vec<u8>, Shuffle
         num_threads,
         ..ShufflerConfig::default()
     };
-    let pipeline = Pipeline::new(config, 32, &mut rng);
+    let pipeline = Deployment::builder()
+        .config(config)
+        .payload_size(32)
+        .build(&mut rng);
     let encoder = pipeline.encoder();
     let mut reports = Vec::new();
     let mut client = 0u64;
@@ -49,7 +54,9 @@ fn seeded_run(backend: &ShuffleBackend, num_threads: usize) -> (Vec<u8>, Shuffle
         );
         client += 1;
     }
-    let report = pipeline.ingest_epoch(3, &reports, 0xfeed).unwrap();
+    let report = pipeline
+        .ingest(&EpochSpec::new(3, 0xfeed), &reports)
+        .unwrap();
     (
         report.database.canonical_histogram_bytes(),
         report.shuffler_stats,
@@ -126,11 +133,10 @@ fn phase_timings_are_populated_and_excluded_from_equality() {
 fn all_four_backends_are_selectable_through_the_collector() {
     for backend in ShuffleBackend::all() {
         let mut rng = StdRng::seed_from_u64(0xc011);
-        let pipeline = Pipeline::new(
-            ShufflerConfig::default().without_thresholding(),
-            32,
-            &mut rng,
-        );
+        let pipeline = Deployment::builder()
+            .config(ShufflerConfig::default().without_thresholding())
+            .payload_size(32)
+            .build(&mut rng);
         let encoder = pipeline.encoder();
         let config = CollectorConfig {
             worker_threads: 2,
