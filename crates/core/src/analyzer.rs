@@ -12,6 +12,7 @@ use prochlo_stats::{Histogram, Laplace};
 
 use crate::encoder::ANALYZER_AAD;
 use crate::error::PipelineError;
+use crate::exec;
 use crate::record::AnalyzerPayload;
 use crate::wire::unpad_payload;
 
@@ -69,20 +70,59 @@ impl Analyzer {
         self.share_threshold
     }
 
+    /// Decrypts a batch of inner ciphertexts, sharding the hybrid
+    /// decryptions — the analyzer's hot path — across `num_threads` scoped
+    /// workers over fixed-size chunks with an in-order merge, so
+    /// `payloads[i]` always corresponds to `items[i]` regardless of the
+    /// worker count. `None` marks an item that failed to decrypt or parse.
+    pub fn decrypt_batch(
+        &self,
+        items: &[Vec<u8>],
+        num_threads: usize,
+    ) -> Vec<Option<AnalyzerPayload>> {
+        exec::par_chunks(
+            items,
+            num_threads.max(1),
+            exec::CHUNK_RECORDS,
+            |_chunk_idx, chunk| {
+                chunk
+                    .iter()
+                    .map(|item| {
+                        HybridCiphertext::from_bytes(item)
+                            .ok()
+                            .and_then(|ct| ct.open(self.keys.secret(), ANALYZER_AAD).ok())
+                            .and_then(|bytes| AnalyzerPayload::from_bytes(&bytes).ok())
+                    })
+                    .collect::<Vec<_>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Decrypts a batch of inner ciphertexts into a database.
     pub fn ingest_items(&self, items: &[Vec<u8>]) -> Result<AnalyzerDatabase, PipelineError> {
+        self.ingest_items_parallel(items, 1)
+    }
+
+    /// [`Self::ingest_items`] with the decryption pass sharded across
+    /// `num_threads` workers (see [`Self::decrypt_batch`]). Aggregation
+    /// runs over the in-order payloads, so the database is identical at any
+    /// worker count.
+    pub fn ingest_items_parallel(
+        &self,
+        items: &[Vec<u8>],
+        num_threads: usize,
+    ) -> Result<AnalyzerDatabase, PipelineError> {
         let mut db = AnalyzerDatabase::default();
         // Secret-shared values grouped by their deterministic ciphertext.
         // BTreeMap so recovered rows land in a deterministic order
         // regardless of the process's hash seed.
         let mut groups: BTreeMap<Vec<u8>, (Vec<shamir::Share>, usize)> = BTreeMap::new();
 
-        for item in items {
-            let payload = match HybridCiphertext::from_bytes(item)
-                .ok()
-                .and_then(|ct| ct.open(self.keys.secret(), ANALYZER_AAD).ok())
-                .and_then(|bytes| AnalyzerPayload::from_bytes(&bytes).ok())
-            {
+        for payload in self.decrypt_batch(items, num_threads) {
+            let payload = match payload {
                 Some(p) => p,
                 None => {
                     db.undecryptable += 1;

@@ -477,7 +477,13 @@ impl Deployment {
         rng: &mut dyn RngCore,
     ) -> Result<PipelineReport, PipelineError> {
         let outcome = self.role.process(engine, reports, rng)?;
-        let database = self.analyzer.ingest_items(&outcome.items)?;
+        // The same resolved worker count drives the analyzer's inner-layer
+        // decryption, so PROCHLO_SHUFFLE_THREADS governs the batch end to
+        // end: peel, engine and analysis.
+        let num_threads = exec::resolve_threads(engine.num_threads)?;
+        let database = self
+            .analyzer
+            .ingest_items_parallel(&outcome.items, num_threads)?;
         Ok(PipelineReport {
             database,
             shuffler_stats: outcome.stats,
@@ -692,32 +698,42 @@ impl ShardedDeployment {
             ));
         }
         let populated = batches.iter().filter(|b| !b.is_empty()).count().max(1);
+        // Split the thread budget across the concurrently running shards
+        // instead of letting every shard resolve `0` to all available cores
+        // and oversubscribe the machine shards-fold. Resolving happens here,
+        // before any shard thread spawns, so a bad PROCHLO_SHUFFLE_THREADS
+        // value fails the whole epoch up front.
+        let shard_specs: Vec<Option<EpochSpec>> = self
+            .shards
+            .iter()
+            .zip(batches)
+            .enumerate()
+            .map(|(index, (shard, batch))| {
+                if batch.is_empty() {
+                    return Ok(None);
+                }
+                let mut engine = spec
+                    .engine
+                    .clone()
+                    .unwrap_or_else(|| shard.default_engine());
+                engine.num_threads =
+                    (exec::resolve_threads(engine.num_threads)? / populated).max(1);
+                Ok(Some(EpochSpec {
+                    epoch_index: spec.epoch_index,
+                    seed: exec::mix_seed(spec.seed, index as u64),
+                    engine: Some(engine),
+                }))
+            })
+            .collect::<Result<_, PipelineError>>()?;
         let outcomes: Vec<Option<Result<PipelineReport, PipelineError>>> =
             std::thread::scope(|scope| {
                 let workers: Vec<_> = self
                     .shards
                     .iter()
                     .zip(batches)
-                    .enumerate()
-                    .map(|(index, (shard, batch))| {
-                        if batch.is_empty() {
-                            return None;
-                        }
-                        // Split the thread budget across the concurrently
-                        // running shards instead of letting every shard
-                        // resolve `0` to all available cores and
-                        // oversubscribe the machine shards-fold.
-                        let mut engine = spec
-                            .engine
-                            .clone()
-                            .unwrap_or_else(|| shard.default_engine());
-                        engine.num_threads =
-                            (exec::resolve_threads(engine.num_threads) / populated).max(1);
-                        let shard_spec = EpochSpec {
-                            epoch_index: spec.epoch_index,
-                            seed: exec::mix_seed(spec.seed, index as u64),
-                            engine: Some(engine),
-                        };
+                    .zip(shard_specs)
+                    .map(|((shard, batch), shard_spec)| {
+                        let shard_spec = shard_spec?;
                         Some(scope.spawn(move || shard.ingest(&shard_spec, batch)))
                     })
                     .collect();
@@ -1070,6 +1086,39 @@ mod tests {
                 assert_eq!(idx, ShardedDeployment::shard_index(label, shards));
             }
         }
+    }
+
+    #[test]
+    fn shard_index_is_pinned_on_known_digests() {
+        // Routing reads the first *eight* bytes of SHA-256(label) as a
+        // big-endian u64 and reduces it modulo the shard count (not just
+        // the first byte — shard counts beyond 256 must still receive
+        // traffic). These expectations were computed independently from the
+        // published SHA-256 digests of the labels; if this test fails, the
+        // routing function changed and every cross-version router/shard
+        // assignment with it.
+        const PINNED: &[(&[u8], u64)] = &[
+            (b"chrome", 10_633_261_721_166_230_207),
+            (b"firefox", 1_649_995_383_330_970_112),
+            (b"example.com", 11_779_629_879_860_902_309),
+            (b"", 16_406_829_232_824_261_652),
+        ];
+        for &(label, prefix) in PINNED {
+            for shards in [1usize, 4, 7, 1000] {
+                assert_eq!(
+                    ShardedDeployment::shard_index(label, shards),
+                    (prefix % shards as u64) as usize,
+                    "label {label:?}, {shards} shards"
+                );
+            }
+        }
+        // A spot check that the u64 reduction differs from first-byte
+        // routing for at least one pinned label, so a regression to the
+        // old documented behaviour cannot slip through.
+        assert_ne!(
+            ShardedDeployment::shard_index(b"chrome", 1000),
+            (prochlo_crypto::sha256::sha256(b"chrome")[0] as usize) % 1000
+        );
     }
 
     #[test]

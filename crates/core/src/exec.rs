@@ -1,211 +1,36 @@
-//! A chunked, deterministic fork-join executor for the shuffler's hot path.
+//! The chunked, deterministic fork-join executor for the batch hot path.
 //!
-//! The batch phases the paper calls out as embarrassingly parallel — outer-
-//! layer peeling and per-chunk tag distribution — are sharded here across
-//! plain `std::thread::scope` workers (no runtime, no new dependencies).
-//! Two rules make the parallel output byte-identical to the sequential one:
+//! The executor itself lives in [`prochlo_shuffle::exec`] so the enclave-
+//! bound shuffle engines (stash/batcher/melbourne) can shard their bucket
+//! passes on the same primitives the pipeline uses for peeling, trusted-
+//! engine tag distribution and analyzer decryption; this module re-exports
+//! it unchanged so `prochlo_core::exec` remains the path pipeline code and
+//! callers use.
 //!
-//! 1. **Fixed chunking.** Work is split into fixed-size chunks of
-//!    [`CHUNK_RECORDS`] items, *independent of the worker count*. Thread
-//!    count only changes which worker claims which chunk, never the chunk
-//!    boundaries, so a chunk's result is the same at 1 thread and at 64.
-//! 2. **Derived randomness and a canonical merge.** A chunk that needs
-//!    randomness derives its own generator from `(phase seed, chunk index)`
-//!    via the same SplitMix64 mix as [`crate::deployment::epoch_rng`], and
-//!    results are merged in chunk-index order after the parallel region.
-//!
-//! The `PROCHLO_SHUFFLE_THREADS` environment knob is parsed in exactly one
-//! place ([`shuffle_threads_from_env`]); `0` or an absent/invalid value
-//! means "use every available core".
+//! See the source module for the two rules that make parallel output
+//! byte-identical to sequential (fixed chunking and derived randomness with
+//! a canonical in-order merge), and for the `PROCHLO_SHUFFLE_THREADS`
+//! parsing policy (parsed in one place; unparseable values are hard
+//! errors).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// Records per chunk. Fixed so that chunk boundaries — and therefore every
-/// per-chunk RNG stream — do not depend on the worker count.
-pub const CHUNK_RECORDS: usize = 1024;
-
-/// SplitMix64-style mix of a seed and a stream index, shared by the per-epoch
-/// and per-chunk RNG derivations: nearby indices yield unrelated states, and
-/// any stream can be re-derived in isolation.
-pub fn mix_seed(seed: u64, stream: u64) -> u64 {
-    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// The RNG a parallel phase uses for one chunk: a pure function of the phase
-/// seed and the chunk index, so output never depends on thread scheduling.
-pub fn chunk_rng(phase_seed: u64, chunk_idx: u64) -> StdRng {
-    StdRng::seed_from_u64(mix_seed(phase_seed, chunk_idx))
-}
-
-/// The number of hardware threads available to this process.
-pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// Interprets one `PROCHLO_SHUFFLE_THREADS`-style value: `0` or absent mean
-/// "every available core". An unparseable value also falls back to every
-/// core, but with a warning on stderr — an operator who set the knob asked
-/// for a specific count, and silently ignoring a typo would hand them the
-/// opposite of what they wanted.
-pub fn threads_from_value(value: Option<&str>) -> usize {
-    match value {
-        None => available_threads(),
-        Some(raw) => match raw.trim().parse::<usize>() {
-            Ok(0) => available_threads(),
-            Ok(n) => n,
-            Err(_) => {
-                let auto = available_threads();
-                eprintln!(
-                    "warning: unparseable PROCHLO_SHUFFLE_THREADS {raw:?} \
-                     (expected a number; 0 = all cores); using all {auto} \
-                     available cores"
-                );
-                auto
-            }
-        },
-    }
-}
-
-/// The single place the `PROCHLO_SHUFFLE_THREADS` environment knob is read.
-pub fn shuffle_threads_from_env() -> usize {
-    threads_from_value(std::env::var("PROCHLO_SHUFFLE_THREADS").ok().as_deref())
-}
-
-/// Resolves a configured worker count: `0` defers to the environment knob
-/// (which in turn defaults to every available core).
-pub fn resolve_threads(requested: usize) -> usize {
-    if requested == 0 {
-        shuffle_threads_from_env()
-    } else {
-        requested
-    }
-}
-
-/// Runs `f` over fixed-size chunks of `items` on up to `num_threads` scoped
-/// workers and returns the per-chunk results **in chunk order** — the
-/// canonical deterministic merge. With one worker (or one chunk) the chunks
-/// run inline on the caller's thread; the results are identical either way
-/// because chunk boundaries and indices never depend on the worker count.
-pub fn par_chunks<T, U, F>(items: &[T], num_threads: usize, chunk_size: usize, f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(usize, &[T]) -> U + Sync,
-{
-    let chunk_size = chunk_size.max(1);
-    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
-    let workers = num_threads.max(1).min(chunks.len());
-    if workers <= 1 {
-        return chunks
-            .into_iter()
-            .enumerate()
-            .map(|(idx, chunk)| f(idx, chunk))
-            .collect();
-    }
-
-    // Workers claim chunk indices from a shared dispenser, so a slow chunk
-    // never stalls the others. Each index has exactly one writer; the
-    // per-slot Mutex (rather than OnceLock, which would demand `U: Sync`)
-    // is only what makes that single write visible to the collecting thread.
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<U>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= chunks.len() {
-                    break;
-                }
-                let result = f(idx, chunks[idx]);
-                *slots[idx].lock().expect("chunk slot lock") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("chunk slot lock")
-                .expect("every chunk index was claimed")
-        })
-        .collect()
-}
+pub use prochlo_shuffle::exec::{
+    available_threads, chunk_rng, mix_seed, par_chunks, resolve_threads, shuffle_threads_from_env,
+    threads_from_value, CHUNK_RECORDS,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngCore;
-
-    #[test]
-    fn chunk_rngs_are_stable_and_distinct() {
-        assert_eq!(chunk_rng(5, 9).next_u64(), chunk_rng(5, 9).next_u64());
-        assert_ne!(chunk_rng(5, 9).next_u64(), chunk_rng(5, 10).next_u64());
-        assert_ne!(chunk_rng(5, 9).next_u64(), chunk_rng(6, 9).next_u64());
-    }
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
 
     #[test]
     fn mix_seed_matches_the_epoch_rng_derivation() {
-        use rand::SeedableRng;
+        // The per-chunk and per-epoch RNG derivations must stay the same
+        // mix: any stream can then be re-derived in isolation from either
+        // side of the crate boundary.
         let mut direct = crate::deployment::epoch_rng(42, 7);
         let mut via_mix = StdRng::seed_from_u64(mix_seed(42, 7));
         assert_eq!(direct.next_u64(), via_mix.next_u64());
-    }
-
-    #[test]
-    fn threads_from_value_defaults_and_parses() {
-        assert_eq!(threads_from_value(Some("3")), 3);
-        assert_eq!(threads_from_value(Some(" 8 ")), 8);
-        let auto = available_threads();
-        assert_eq!(threads_from_value(None), auto);
-        assert_eq!(threads_from_value(Some("0")), auto);
-        assert_eq!(threads_from_value(Some("not-a-number")), auto);
-        assert_eq!(resolve_threads(5), 5);
-        assert!(resolve_threads(0) >= 1);
-    }
-
-    #[test]
-    fn par_chunks_merges_in_chunk_order_for_any_worker_count() {
-        let items: Vec<u32> = (0..10_000).collect();
-        let run = |threads: usize| -> Vec<u64> {
-            par_chunks(&items, threads, 64, |idx, chunk| {
-                chunk.iter().map(|&v| v as u64).sum::<u64>() + idx as u64
-            })
-        };
-        let sequential = run(1);
-        for threads in [2, 4, 8] {
-            assert_eq!(run(threads), sequential, "{threads} workers");
-        }
-        assert_eq!(sequential.len(), 10_000usize.div_ceil(64));
-    }
-
-    #[test]
-    fn par_chunks_handles_empty_and_tiny_inputs() {
-        let empty: Vec<u8> = Vec::new();
-        assert!(par_chunks(&empty, 4, 16, |_, c| c.len()).is_empty());
-        let tiny = vec![1u8, 2, 3];
-        assert_eq!(par_chunks(&tiny, 4, 16, |_, c| c.len()), vec![3]);
-    }
-
-    #[test]
-    fn par_chunks_with_derived_rngs_is_thread_count_invariant() {
-        // The pattern the shuffler uses: each chunk draws from its own
-        // derived generator; the merged stream must not depend on workers.
-        let items: Vec<u8> = vec![0; 5000];
-        let run = |threads: usize| -> Vec<u64> {
-            par_chunks(&items, threads, CHUNK_RECORDS, |idx, chunk| {
-                let mut rng = chunk_rng(0xabc, idx as u64);
-                chunk.iter().fold(0u64, |acc, _| acc ^ rng.next_u64())
-            })
-        };
-        assert_eq!(run(1), run(8));
     }
 }

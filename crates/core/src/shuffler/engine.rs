@@ -118,16 +118,24 @@ impl ShuffleBackend {
     }
 
     /// Builds the live engine for this backend, bound to the shuffler's
-    /// enclave. `num_threads` is a resolved worker count; only the trusted
-    /// engine shards internally today — the enclave-bound engines process
-    /// their buckets sequentially because the simulated enclave models a
-    /// single protected core (peeling is parallel for every backend).
+    /// enclave. `num_threads` is a resolved worker count and every backend
+    /// honors it: the trusted engine shards its tag distribution, and the
+    /// enclave-bound engines model a multi-threaded enclave — their bucket
+    /// passes run on scoped workers whose private-memory sub-budgets are
+    /// carved from the enclave's budget ([`Enclave::split_budget`]), with
+    /// output byte-identical at any count.
     pub fn engine(&self, enclave: Enclave, num_threads: usize) -> Box<dyn ShuffleEngine> {
         match self {
             ShuffleBackend::Trusted => Box::new(TrustedEngine::new(num_threads)),
-            ShuffleBackend::Sgx { params } => Box::new(StashEngine::new(*params, enclave)),
-            ShuffleBackend::Batcher => Box::new(BatcherShuffle::new(enclave)),
-            ShuffleBackend::Melbourne => Box::new(MelbourneShuffle::new(enclave)),
+            ShuffleBackend::Sgx { params } => {
+                Box::new(StashEngine::new(*params, enclave).with_threads(num_threads))
+            }
+            ShuffleBackend::Batcher => {
+                Box::new(BatcherShuffle::new(enclave).with_threads(num_threads))
+            }
+            ShuffleBackend::Melbourne => {
+                Box::new(MelbourneShuffle::new(enclave).with_threads(num_threads))
+            }
         }
     }
 

@@ -369,7 +369,7 @@ impl Shuffler {
             received: reports.len(),
             ..ShufflerStats::default()
         };
-        let num_threads = exec::resolve_threads(engine.num_threads);
+        let num_threads = exec::resolve_threads(engine.num_threads)?;
 
         // Phase 1: peel the outer layer inside the enclave (parallel);
         // transport metadata is dropped here and never referenced again.

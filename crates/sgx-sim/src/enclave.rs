@@ -251,6 +251,273 @@ impl Enclave {
             .expect("matching release cannot underflow");
         Ok(result)
     }
+
+    /// Splits the *remaining* private-memory budget across `workers`
+    /// concurrent enclave threads, modelling a multi-threaded enclave: each
+    /// returned [`EnclaveWorker`] may charge at most
+    /// `private_available() / workers` on its own, so the sub-budgets plus
+    /// whatever the parent already holds (a Melbourne permutation, a stash
+    /// reservation) sum to at most the whole budget — a worker that stays
+    /// within its sub-budget can therefore never fail the global check, and
+    /// out-of-memory outcomes depend only on the configuration, never on
+    /// how worker charges happen to overlap in time. Every charge still
+    /// rolls up into this enclave's shared [`EnclaveMetrics`], so
+    /// `private_peak` is the true peak *across* all workers.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn split_budget(&self, workers: usize) -> Vec<EnclaveWorker> {
+        assert!(workers > 0, "an enclave needs at least one worker");
+        let sub_budget = self.private_available() / workers;
+        (0..workers)
+            .map(|_| EnclaveWorker {
+                enclave: self.clone(),
+                budget: sub_budget,
+                in_use: 0,
+                peak: 0,
+            })
+            .collect()
+    }
+}
+
+/// One worker thread of a multi-threaded enclave, created by
+/// [`Enclave::split_budget`]: a private-memory sub-budget whose charges and
+/// releases roll up into the parent enclave's shared metrics.
+///
+/// A charge must fit both the worker's own sub-budget *and* the parent
+/// budget; a release is validated against the worker's own outstanding
+/// charges, so an unbalanced worker is caught even while other workers hold
+/// memory. Dropping a worker releases whatever it still holds, so a failed
+/// parallel phase cannot leak accounting.
+#[derive(Debug)]
+pub struct EnclaveWorker {
+    enclave: Enclave,
+    budget: usize,
+    in_use: usize,
+    peak: usize,
+}
+
+impl EnclaveWorker {
+    /// This worker's private-memory sub-budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes this worker currently holds.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// This worker's own high-water mark (the parent enclave tracks the
+    /// cross-worker peak).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// The parent enclave the worker's accounting rolls up into.
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// Charges `bytes` against this worker's sub-budget and the parent
+    /// enclave's shared budget.
+    pub fn charge_private(&mut self, bytes: usize) -> Result<(), EnclaveError> {
+        let available = self.budget.saturating_sub(self.in_use);
+        if bytes > available {
+            return Err(EnclaveError::OutOfPrivateMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        self.enclave.charge_private(bytes)?;
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        Ok(())
+    }
+
+    /// Releases `bytes` charged earlier *by this worker*.
+    pub fn release_private(&mut self, bytes: usize) -> Result<(), EnclaveError> {
+        if bytes > self.in_use {
+            return Err(EnclaveError::ReleaseUnderflow);
+        }
+        self.enclave.release_private(bytes)?;
+        self.in_use -= bytes;
+        Ok(())
+    }
+
+    /// Runs a closure with `bytes` charged against this worker for its
+    /// duration, releasing afterwards even if the closure fails.
+    pub fn with_private<T>(
+        &mut self,
+        bytes: usize,
+        f: impl FnOnce() -> T,
+    ) -> Result<T, EnclaveError> {
+        self.charge_private(bytes)?;
+        let result = f();
+        self.release_private(bytes)
+            .expect("matching release cannot underflow");
+        Ok(result)
+    }
+}
+
+impl Drop for EnclaveWorker {
+    fn drop(&mut self) {
+        if self.in_use > 0 {
+            // Best-effort: the parent holds at least what this worker does.
+            let _ = self.enclave.release_private(self.in_use);
+            self.in_use = 0;
+        }
+    }
+}
+
+/// A pool of [`EnclaveWorker`]s for a parallel phase: work units pick a free
+/// worker (preferring the hinted index, so a single-threaded run always uses
+/// worker 0), and because a phase never runs more concurrent work units than
+/// there are workers, a free worker always exists.
+///
+/// Which worker a unit lands on only moves charges between equal sub-budgets;
+/// it never affects a shuffle's output, which is what keeps parallel runs
+/// byte-identical while the accounting stays honest.
+#[derive(Debug)]
+pub struct WorkerPool {
+    workers: Vec<Mutex<EnclaveWorker>>,
+}
+
+impl WorkerPool {
+    /// Splits `enclave`'s budget into `workers` sub-budgets (see
+    /// [`Enclave::split_budget`]).
+    pub fn split(enclave: &Enclave, workers: usize) -> Self {
+        Self {
+            workers: enclave
+                .split_budget(workers)
+                .into_iter()
+                .map(Mutex::new)
+                .collect(),
+        }
+    }
+
+    /// Number of workers in the pool.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the pool has no workers (never true: `split` demands ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Runs `f` holding one worker for its whole duration. Tries the hinted
+    /// worker first, then any free one, and only blocks if every worker is
+    /// busy (impossible when concurrency ≤ pool size, the invariant the
+    /// chunked executor maintains).
+    pub fn with_worker<T>(&self, hint: usize, f: impl FnOnce(&mut EnclaveWorker) -> T) -> T {
+        let n = self.workers.len();
+        for offset in 0..n {
+            if let Some(mut worker) = self.workers[(hint + offset) % n].try_lock() {
+                return f(&mut worker);
+            }
+        }
+        let mut worker = self.workers[hint % n].lock();
+        f(&mut worker)
+    }
+
+    /// Runs `f` holding worker `idx % len` *specifically* (blocking if it
+    /// is busy). For phases that charge in one pass and release in a later
+    /// one: both passes index the same worker, so the release is validated
+    /// against the worker that actually holds the charge.
+    pub fn with_exact<T>(&self, idx: usize, f: impl FnOnce(&mut EnclaveWorker) -> T) -> T {
+        let mut worker = self.workers[idx % self.workers.len()].lock();
+        f(&mut worker)
+    }
+}
+
+/// One deferred boundary operation recorded by a [`BoundaryLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BoundaryOp {
+    CopyIn {
+        label: &'static str,
+        index: usize,
+        bytes: usize,
+    },
+    CopyOut {
+        label: &'static str,
+        index: usize,
+        bytes: usize,
+    },
+    Ocall,
+}
+
+/// A buffer of boundary crossings made by one parallel work unit, committed
+/// to the shared [`Enclave`] later in a canonical order.
+///
+/// Concurrent workers writing `copy_in`/`copy_out` directly would interleave
+/// the access trace by scheduling order, making the trace — the artifact the
+/// obliviousness tests diff — nondeterministic. Instead each work unit
+/// records its crossings here and the sequential merge commits the logs in
+/// work-unit order, so the trace is identical at any thread count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BoundaryLog {
+    ops: Vec<BoundaryOp>,
+}
+
+impl BoundaryLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` entering the enclave from untrusted object `index`.
+    pub fn copy_in(&mut self, label: &'static str, index: usize, bytes: usize) {
+        self.ops.push(BoundaryOp::CopyIn {
+            label,
+            index,
+            bytes,
+        });
+    }
+
+    /// Records `bytes` leaving the enclave to untrusted object `index`.
+    pub fn copy_out(&mut self, label: &'static str, index: usize, bytes: usize) {
+        self.ops.push(BoundaryOp::CopyOut {
+            label,
+            index,
+            bytes,
+        });
+    }
+
+    /// Records a call out of the enclave.
+    pub fn ocall(&mut self) {
+        self.ops.push(BoundaryOp::Ocall);
+    }
+
+    /// Number of buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the log holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replays the buffered operations, in recording order, against the
+    /// enclave's live accounting (and trace, when enabled).
+    pub fn commit(self, enclave: &Enclave) {
+        for op in self.ops {
+            match op {
+                BoundaryOp::CopyIn {
+                    label,
+                    index,
+                    bytes,
+                } => enclave.copy_in(label, index, bytes),
+                BoundaryOp::CopyOut {
+                    label,
+                    index,
+                    bytes,
+                } => enclave.copy_out(label, index, bytes),
+                BoundaryOp::Ocall => enclave.ocall(),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -373,5 +640,184 @@ mod tests {
         let e2 = e.clone();
         e2.copy_in("x", 0, 7);
         assert_eq!(e.metrics().bytes_in, 7);
+    }
+
+    #[test]
+    fn split_budget_sub_budgets_sum_to_at_most_the_parent_budget() {
+        let e = small_enclave(1000);
+        for workers in [1usize, 2, 3, 7] {
+            let split = e.split_budget(workers);
+            assert_eq!(split.len(), workers);
+            let total: usize = split.iter().map(EnclaveWorker::budget).sum();
+            assert!(total <= 1000, "{workers} workers: {total}");
+        }
+        assert_eq!(e.split_budget(1)[0].budget(), 1000);
+    }
+
+    #[test]
+    fn split_budget_carves_from_the_remaining_budget() {
+        // With 400 bytes already held by the parent (e.g. a permutation or
+        // stash reservation), the sub-budgets must split the remaining 600:
+        // workers maxing out their sub-budgets then cannot fail the global
+        // check, so out-of-memory never depends on charge overlap timing.
+        let e = small_enclave(1000);
+        e.charge_private(400).unwrap();
+        let mut workers = e.split_budget(3);
+        assert!(workers.iter().map(EnclaveWorker::budget).sum::<usize>() <= 600);
+        for w in &mut workers {
+            w.charge_private(w.budget()).unwrap();
+        }
+        assert!(e.metrics().private_in_use <= 1000);
+        for w in &mut workers {
+            w.release_private(w.in_use()).unwrap();
+        }
+        e.release_private(400).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn split_budget_rejects_zero_workers() {
+        let _ = small_enclave(1000).split_budget(0);
+    }
+
+    #[test]
+    fn worker_charges_roll_up_and_respect_the_sub_budget() {
+        let e = small_enclave(1000);
+        let mut workers = e.split_budget(2); // 500 bytes each
+        workers[0].charge_private(400).unwrap();
+        workers[1].charge_private(500).unwrap();
+        assert_eq!(e.metrics().private_in_use, 900);
+        assert_eq!(e.metrics().private_peak, 900);
+        // Worker 0 has 100 bytes of sub-budget left even though the parent
+        // has 100 available too; the smaller bound is its own.
+        assert_eq!(
+            workers[0].charge_private(101),
+            Err(EnclaveError::OutOfPrivateMemory {
+                requested: 101,
+                available: 100
+            })
+        );
+        workers[0].release_private(400).unwrap();
+        workers[1].release_private(500).unwrap();
+        assert_eq!(e.metrics().private_in_use, 0);
+        assert_eq!(e.metrics().private_peak, 900);
+    }
+
+    #[test]
+    fn worker_release_underflow_is_detected_per_worker() {
+        let e = small_enclave(1000);
+        let mut workers = e.split_budget(2);
+        workers[0].charge_private(300).unwrap();
+        // The parent holds 300 bytes, but worker 1 charged none of them:
+        // releasing through worker 1 must fail rather than corrupt worker
+        // 0's accounting.
+        assert_eq!(
+            workers[1].release_private(1),
+            Err(EnclaveError::ReleaseUnderflow)
+        );
+        assert_eq!(e.metrics().private_in_use, 300);
+        workers[0].release_private(300).unwrap();
+    }
+
+    #[test]
+    fn worker_drop_releases_outstanding_charges() {
+        let e = small_enclave(1000);
+        {
+            let mut workers = e.split_budget(4);
+            workers[2].charge_private(100).unwrap();
+            assert_eq!(e.metrics().private_in_use, 100);
+        }
+        assert_eq!(e.metrics().private_in_use, 0);
+        assert_eq!(e.metrics().private_peak, 100);
+    }
+
+    #[test]
+    fn worker_with_private_tracks_its_own_peak() {
+        let e = small_enclave(1000);
+        let mut workers = e.split_budget(2);
+        let out = workers[0].with_private(450, || 7).unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(workers[0].in_use(), 0);
+        assert_eq!(workers[0].peak(), 450);
+        assert!(workers[0].with_private(501, || ()).is_err());
+    }
+
+    #[test]
+    fn concurrent_workers_never_exceed_the_parent_budget() {
+        // Hammer the shared accounting from real threads: each worker
+        // repeatedly charges up to its whole sub-budget and releases it.
+        // Every successful charge kept the global usage within the parent
+        // budget (charge_private enforces it), the final usage is zero, and
+        // the recorded peak is a true cross-worker peak: above any single
+        // sub-budget when the workers overlapped, never above the parent
+        // budget.
+        let e = small_enclave(4 * 256);
+        let workers = e.split_budget(4);
+        std::thread::scope(|scope| {
+            for mut worker in workers {
+                scope.spawn(move || {
+                    for round in 0..200usize {
+                        let bytes = 1 + (round * 37) % worker.budget();
+                        worker.charge_private(bytes).unwrap();
+                        std::hint::black_box(&worker);
+                        worker.release_private(bytes).unwrap();
+                    }
+                });
+            }
+        });
+        let m = e.metrics();
+        assert_eq!(m.private_in_use, 0);
+        assert!(m.private_peak <= 4 * 256, "peak {}", m.private_peak);
+        assert!(m.private_peak > 0);
+    }
+
+    #[test]
+    fn cross_worker_peak_is_the_sum_of_overlapping_charges() {
+        let e = small_enclave(900);
+        let mut workers = e.split_budget(3); // 300 each
+        workers[0].charge_private(300).unwrap();
+        workers[1].charge_private(200).unwrap();
+        workers[2].charge_private(250).unwrap();
+        workers[1].release_private(200).unwrap();
+        workers[0].release_private(300).unwrap();
+        workers[2].release_private(250).unwrap();
+        // No single worker went above 300, but together they reached 750.
+        assert_eq!(e.metrics().private_peak, 750);
+        assert_eq!(e.metrics().private_in_use, 0);
+    }
+
+    #[test]
+    fn worker_pool_hands_out_workers_and_prefers_the_hint() {
+        let e = small_enclave(1000);
+        let pool = WorkerPool::split(&e, 2);
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+        let budget = pool.with_worker(1, |w| {
+            w.charge_private(100).unwrap();
+            w.release_private(100).unwrap();
+            w.budget()
+        });
+        assert_eq!(budget, 500);
+        assert_eq!(e.metrics().private_peak, 100);
+    }
+
+    #[test]
+    fn boundary_log_commits_in_recording_order() {
+        let e = small_enclave(1000);
+        let mut log = BoundaryLog::new();
+        assert!(log.is_empty());
+        log.copy_in("read", 3, 10);
+        log.copy_out("write", 4, 20);
+        log.ocall();
+        assert_eq!(log.len(), 3);
+        log.commit(&e);
+        let m = e.metrics();
+        assert_eq!((m.bytes_in, m.bytes_out, m.ocalls), (10, 20, 1));
+        let trace = e.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].label, "read");
+        assert!(trace[0].into_enclave);
+        assert_eq!(trace[1].label, "write");
+        assert!(!trace[1].into_enclave);
     }
 }

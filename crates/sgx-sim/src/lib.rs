@@ -31,7 +31,10 @@ pub mod attestation;
 pub mod enclave;
 
 pub use attestation::{AttestationAuthority, AttestationError, CpuKey, Quote, QuoteVerifier};
-pub use enclave::{Enclave, EnclaveConfig, EnclaveError, EnclaveMetrics, TraceEvent};
+pub use enclave::{
+    BoundaryLog, Enclave, EnclaveConfig, EnclaveError, EnclaveMetrics, EnclaveWorker, TraceEvent,
+    WorkerPool,
+};
 
 /// The usable private (EPC) memory of a current-generation SGX enclave, as
 /// reported by the paper: 92 MB.

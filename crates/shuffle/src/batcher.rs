@@ -20,22 +20,35 @@
 use rand::Rng;
 
 use prochlo_crypto::sha256::sha256_concat;
-use prochlo_sgx::Enclave;
+use prochlo_sgx::{Enclave, WorkerPool};
 
 use crate::cost::{CostReport, ShuffleCostModel};
 use crate::error::ShuffleError;
+use crate::exec;
 use crate::{uniform_record_len, Records};
 
 /// A real Batcher-network shuffle bound to an enclave for accounting.
 #[derive(Debug, Clone)]
 pub struct BatcherShuffle {
     enclave: Enclave,
+    num_threads: usize,
 }
 
 impl BatcherShuffle {
     /// Creates a shuffler that accounts against the given enclave.
     pub fn new(enclave: Enclave) -> Self {
-        Self { enclave }
+        Self {
+            enclave,
+            num_threads: 1,
+        }
+    }
+
+    /// Sets the number of enclave workers the tag-assignment pass shards
+    /// over (a resolved count; default 1). Tags are a pure function of the
+    /// seed and the record index, so the output is identical at any count.
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads.max(1);
+        self
     }
 
     /// Shuffles the records by obliviously sorting them under a random tag.
@@ -55,18 +68,42 @@ impl BatcherShuffle {
         let mut seed = [0u8; 32];
         rng.fill_bytes(&mut seed);
 
-        // Tag each record. Tags are the sort keys; the record index breaks
-        // the (negligible-probability) ties deterministically.
+        // Tag each record, sharding the hash pass across enclave workers:
+        // each chunk's records plus their tags live in the worker's private
+        // sub-budget while it hashes, and tags depend only on the seed and
+        // the global record index, never on the worker count. Tags are the
+        // sort keys; the record index breaks the (negligible-probability)
+        // ties deterministically.
         self.enclave
             .copy_in("batcher-read-input", 0, n * record_len);
-        let mut tagged: Vec<([u8; 32], Vec<u8>)> = input
-            .iter()
-            .enumerate()
-            .map(|(i, record)| {
-                let tag = sha256_concat(&[&seed, &(i as u64).to_le_bytes()]);
-                (tag, record.clone())
-            })
-            .collect();
+        let pool = WorkerPool::split(&self.enclave, self.num_threads);
+        let tag_chunks: Vec<Result<Vec<[u8; 32]>, ShuffleError>> = exec::par_chunks(
+            input,
+            self.num_threads,
+            exec::CHUNK_RECORDS,
+            |chunk_idx, chunk| {
+                let base = chunk_idx * exec::CHUNK_RECORDS;
+                pool.with_worker(chunk_idx, |worker| {
+                    let working_bytes = chunk.len() * (record_len + 32);
+                    worker
+                        .with_private(working_bytes, || {
+                            (0..chunk.len())
+                                .map(|j| {
+                                    sha256_concat(&[&seed, &((base + j) as u64).to_le_bytes()])
+                                })
+                                .collect()
+                        })
+                        .map_err(ShuffleError::from)
+                })
+            },
+        );
+        let mut tagged: Vec<([u8; 32], Vec<u8>)> = Vec::with_capacity(n);
+        for chunk in tag_chunks {
+            for tag in chunk? {
+                let record = input[tagged.len()].clone();
+                tagged.push((tag, record));
+            }
+        }
 
         // The data-independent comparator schedule of the odd-even mergesort
         // network (valid for arbitrary n; comparators reaching beyond n are
@@ -219,6 +256,25 @@ mod tests {
             shuffler().shuffle(&input, &mut rng),
             Err(ShuffleError::NonUniformRecords)
         );
+    }
+
+    #[test]
+    fn output_is_thread_count_invariant() {
+        // The parallel tag pass computes the same tags as the sequential
+        // one (pure function of seed and record index), so the sorted
+        // output must be byte-identical at any worker count.
+        let input = records(3_000);
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(42);
+            shuffler()
+                .with_threads(threads)
+                .shuffle(&input, &mut rng)
+                .unwrap()
+        };
+        let sequential = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), sequential, "{threads} workers");
+        }
     }
 
     #[test]

@@ -90,13 +90,26 @@ impl ShuffleEngine for MelbourneShuffle {
 pub struct StashEngine {
     params: Option<StashShuffleParams>,
     enclave: Enclave,
+    num_threads: usize,
 }
 
 impl StashEngine {
     /// Creates a Stash engine bound to the given enclave; `None` derives
     /// parameters from each batch's size.
     pub fn new(params: Option<StashShuffleParams>, enclave: Enclave) -> Self {
-        Self { params, enclave }
+        Self {
+            params,
+            enclave,
+            num_threads: 1,
+        }
+    }
+
+    /// Sets the number of enclave workers the distribution phase shards
+    /// over (a resolved count; default 1); see
+    /// [`StashShuffle::with_threads`].
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads.max(1);
+        self
     }
 }
 
@@ -114,7 +127,7 @@ impl ShuffleEngine for StashEngine {
         let params = self
             .params
             .unwrap_or_else(|| StashShuffleParams::derive(items.len()));
-        let stash = StashShuffle::new(params, self.enclave.clone());
+        let stash = StashShuffle::new(params, self.enclave.clone()).with_threads(self.num_threads);
         let output = stash.shuffle_with_ingress(&items, &identity_ingress, rng)?;
         stats.attempts = output.attempts;
         Ok(output.records)

@@ -32,6 +32,15 @@ pub enum ShuffleError {
     IngressFailed(&'static str),
     /// Parameters are internally inconsistent (e.g. zero buckets).
     InvalidParameters(&'static str),
+    /// A worker-thread count (the `PROCHLO_SHUFFLE_THREADS` knob) was set
+    /// but could not be parsed. The display names the knob and the expected
+    /// format, so an operator's typo fails loudly instead of silently
+    /// running with a different thread count (the same policy
+    /// `PROCHLO_SHUFFLE_BACKEND` follows for backend names).
+    InvalidThreads {
+        /// The value that failed to parse.
+        value: String,
+    },
 }
 
 impl std::fmt::Display for ShuffleError {
@@ -51,6 +60,11 @@ impl std::fmt::Display for ShuffleError {
             ),
             ShuffleError::IngressFailed(what) => write!(f, "ingress transform failed: {what}"),
             ShuffleError::InvalidParameters(what) => write!(f, "invalid parameters: {what}"),
+            ShuffleError::InvalidThreads { value } => write!(
+                f,
+                "invalid PROCHLO_SHUFFLE_THREADS value {value:?}: expected a \
+                 non-negative integer (0 = all available cores)"
+            ),
         }
     }
 }

@@ -24,6 +24,9 @@
 //!   benchmark.
 //! * [`engine`] — the object-safe [`ShuffleEngine`] trait that makes every
 //!   shuffler here a runtime-selectable backend for the ESA pipeline.
+//! * [`exec`] — the chunked, deterministic fork-join executor the engines
+//!   (and the ESA pipeline above this crate) shard their parallel passes
+//!   on, plus the `PROCHLO_SHUFFLE_THREADS` knob parsing.
 //!
 //! All real shuffler implementations run against a [`prochlo_sgx::Enclave`]
 //! so that private-memory budgets are enforced and boundary traffic / access
@@ -35,6 +38,7 @@ pub mod columnsort;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod melbourne;
 pub mod stash;
 

@@ -15,10 +15,11 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use prochlo_sgx::Enclave;
+use prochlo_sgx::{BoundaryLog, Enclave, WorkerPool};
 
 use crate::cost::{CostReport, ShuffleCostModel};
 use crate::error::ShuffleError;
+use crate::exec;
 use crate::{uniform_record_len, Records};
 
 /// Bytes of private memory needed per record just to store the permutation.
@@ -33,6 +34,22 @@ type Slot = Option<(usize, Vec<u8>)>;
 pub struct MelbourneShuffle {
     enclave: Enclave,
     max_attempts: usize,
+    num_threads: usize,
+}
+
+/// One input bucket's distribution-pass output: `chunks[out_bucket]` holds
+/// exactly `cap` slots (real records padded with dummies), or `None` when
+/// some bucket pair overflowed the cap and the attempt must restart.
+struct BucketDist {
+    chunks: Option<Vec<Vec<Slot>>>,
+    log: BoundaryLog,
+}
+
+/// One output bucket's clean-up-pass output: the real records sorted by
+/// destination position.
+struct BucketClean {
+    real: Vec<(usize, Vec<u8>)>,
+    log: BoundaryLog,
 }
 
 impl MelbourneShuffle {
@@ -41,7 +58,17 @@ impl MelbourneShuffle {
         Self {
             enclave,
             max_attempts: 10,
+            num_threads: 1,
         }
+    }
+
+    /// Sets the number of enclave workers the two passes shard their bucket
+    /// loops over (a resolved count; default 1). The target permutation is
+    /// drawn before the parallel region and both passes are pure functions
+    /// of it, so the output is byte-identical at any worker count.
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads.max(1);
+        self
     }
 
     /// The enclave used for accounting.
@@ -84,7 +111,7 @@ impl MelbourneShuffle {
             self.enclave
                 .release_private(permutation_bytes)
                 .expect("balanced release");
-            match result {
+            match result? {
                 Some(output) => return Ok(output),
                 None if attempt == self.max_attempts => {
                     return Err(ShuffleError::StashOverflow {
@@ -97,8 +124,17 @@ impl MelbourneShuffle {
         unreachable!("loop either returns or errors on the last attempt")
     }
 
-    /// One attempt; `None` means a bucket-pair cap overflowed and the caller
-    /// should retry with a fresh permutation.
+    /// One attempt; `Ok(None)` means a bucket-pair cap overflowed and the
+    /// caller should retry with a fresh permutation.
+    ///
+    /// Both passes are the "embarrassingly parallel rounds" the paper
+    /// credits the Melbourne Shuffle with: the target permutation is drawn
+    /// up front, every input bucket's distribution chunking and every
+    /// output bucket's clean-up is a pure function of it, and the output
+    /// buckets own disjoint destination ranges. So each pass shards its
+    /// bucket loop across enclave workers (per-worker private sub-budgets),
+    /// buffers its boundary crossings per bucket, and merges in bucket
+    /// order — byte-identical to the sequential pass at any worker count.
     fn attempt<R: Rng + ?Sized>(
         &self,
         input: &[Vec<u8>],
@@ -107,78 +143,125 @@ impl MelbourneShuffle {
         bucket_size: usize,
         cap: usize,
         rng: &mut R,
-    ) -> Option<Records> {
+    ) -> Result<Option<Records>, ShuffleError> {
         let n = input.len();
         // The target permutation: position[i] is where input record i ends up.
         let mut position: Vec<usize> = (0..n).collect();
         position.shuffle(rng);
+        let position = &position;
 
-        // Phase 1: distribution. Intermediate array indexed
-        // [output bucket][input bucket * cap + slot]; None is a dummy.
+        let pool = WorkerPool::split(&self.enclave, self.num_threads);
+
+        // Phase 1: distribution, one worker per input bucket. `par_chunks`
+        // with chunk size `bucket_size` yields exactly the input buckets.
+        let dist: Vec<Result<BucketDist, ShuffleError>> =
+            exec::par_chunks(input, self.num_threads, bucket_size, |in_bucket, bucket| {
+                let mut log = BoundaryLog::new();
+                log.copy_in(
+                    "melbourne-read-bucket",
+                    in_bucket,
+                    bucket.len() * record_len,
+                );
+                pool.with_worker(in_bucket, |worker| {
+                    worker.charge_private(bucket.len() * record_len)?;
+                    let start = in_bucket * bucket_size;
+                    // Group this bucket's records by their destination bucket.
+                    let mut per_out: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); bucket_count];
+                    for (offset, record) in bucket.iter().enumerate() {
+                        let dest = position[start + offset];
+                        let out_bucket = dest / bucket_size;
+                        per_out[out_bucket].push((dest, record.clone()));
+                    }
+                    let mut chunks = Vec::with_capacity(bucket_count);
+                    let mut overflow = false;
+                    for (out_bucket, mut items) in per_out.into_iter().enumerate() {
+                        if items.len() > cap {
+                            // Overflow: retry with a fresh permutation.
+                            overflow = true;
+                            break;
+                        }
+                        let mut slots: Vec<Slot> = items.drain(..).map(Some).collect();
+                        slots.resize_with(cap, || None);
+                        log.copy_out("melbourne-write-chunk", out_bucket, cap * record_len);
+                        chunks.push(slots);
+                    }
+                    worker
+                        .release_private(bucket.len() * record_len)
+                        .expect("balanced release");
+                    Ok(BucketDist {
+                        chunks: (!overflow).then_some(chunks),
+                        log,
+                    })
+                })
+            });
+
+        // Merge in input-bucket order; a single overflowing pair anywhere
+        // aborts the attempt (a fact independent of the worker count).
+        let real_buckets = input.len().div_ceil(bucket_size);
         let mut intermediate: Vec<Vec<Slot>> =
             vec![Vec::with_capacity(bucket_count * cap); bucket_count];
-
-        for in_bucket in 0..bucket_count {
-            let start = in_bucket * bucket_size;
-            let end = ((in_bucket + 1) * bucket_size).min(n);
-            if start >= end {
-                // Keep the access pattern shape: write dummy chunks anyway.
-                for (out_bucket, slots) in intermediate.iter_mut().enumerate() {
-                    slots.extend(std::iter::repeat_with(|| None).take(cap));
-                    self.enclave
-                        .copy_out("melbourne-write-chunk", out_bucket, cap * record_len);
-                }
-                continue;
-            }
-            self.enclave.copy_in(
-                "melbourne-read-bucket",
-                in_bucket,
-                (end - start) * record_len,
-            );
-
-            // Group this bucket's records by their destination bucket.
-            let mut per_out: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); bucket_count];
-            for i in start..end {
-                let dest = position[i];
-                let out_bucket = dest / bucket_size;
-                per_out[out_bucket].push((dest, input[i].clone()));
-            }
-            for (out_bucket, mut items) in per_out.into_iter().enumerate() {
-                if items.len() > cap {
-                    return None; // Overflow: retry with a fresh permutation.
-                }
-                let mut slots: Vec<Option<(usize, Vec<u8>)>> = items.drain(..).map(Some).collect();
-                slots.resize_with(cap, || None);
+        for bucket in dist {
+            let BucketDist { chunks, log } = bucket?;
+            let Some(chunks) = chunks else {
+                return Ok(None);
+            };
+            log.commit(&self.enclave);
+            for (out_bucket, slots) in chunks.into_iter().enumerate() {
                 intermediate[out_bucket].extend(slots);
+            }
+        }
+        // Empty trailing buckets keep the access-pattern shape: write dummy
+        // chunks anyway, exactly as the sequential loop did.
+        for _ in real_buckets..bucket_count {
+            for (out_bucket, slots) in intermediate.iter_mut().enumerate() {
+                slots.extend(std::iter::repeat_with(|| None).take(cap));
                 self.enclave
                     .copy_out("melbourne-write-chunk", out_bucket, cap * record_len);
             }
         }
 
-        // Phase 2: clean-up. Read each output bucket, drop dummies, order by
-        // destination position.
+        // Phase 2: clean-up, one worker per output bucket. Output buckets
+        // cover disjoint destination ranges, so the per-bucket sorted runs
+        // merge without coordination.
+        let cleaned: Vec<Result<BucketClean, ShuffleError>> =
+            exec::par_chunks(&intermediate, self.num_threads, 1, |out_bucket, slots| {
+                let slots = &slots[0];
+                let mut log = BoundaryLog::new();
+                log.copy_in(
+                    "melbourne-read-intermediate",
+                    out_bucket,
+                    slots.len() * record_len,
+                );
+                pool.with_worker(out_bucket, |worker| {
+                    worker.charge_private(slots.len() * record_len)?;
+                    let mut real: Vec<(usize, Vec<u8>)> = slots.iter().flatten().cloned().collect();
+                    real.sort_by_key(|(dest, _)| *dest);
+                    log.copy_out(
+                        "melbourne-write-output",
+                        out_bucket,
+                        real.len() * record_len,
+                    );
+                    worker
+                        .release_private(slots.len() * record_len)
+                        .expect("balanced release");
+                    Ok(BucketClean { real, log })
+                })
+            });
+
         let mut output: Vec<Option<Vec<u8>>> = vec![None; n];
-        for (out_bucket, slots) in intermediate.into_iter().enumerate() {
-            self.enclave.copy_in(
-                "melbourne-read-intermediate",
-                out_bucket,
-                slots.len() * record_len,
-            );
-            let mut real: Vec<(usize, Vec<u8>)> = slots.into_iter().flatten().collect();
-            real.sort_by_key(|(dest, _)| *dest);
-            let bytes = real.len() * record_len;
+        for bucket in cleaned {
+            let BucketClean { real, log } = bucket?;
+            log.commit(&self.enclave);
             for (dest, record) in real {
                 output[dest] = Some(record);
             }
-            self.enclave
-                .copy_out("melbourne-write-output", out_bucket, bytes);
         }
-        Some(
+        Ok(Some(
             output
                 .into_iter()
                 .map(|r| r.expect("every slot filled"))
                 .collect(),
-        )
+        ))
     }
 }
 
@@ -247,6 +330,25 @@ mod tests {
         let input = records(800);
         let out = shuffler(1 << 20).shuffle(&input, &mut rng).unwrap();
         assert_ne!(out, input);
+    }
+
+    #[test]
+    fn output_is_thread_count_invariant() {
+        // Both passes are pure functions of the up-front permutation, so
+        // sharding them across workers never changes the output.
+        let input = records(1_200);
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(21);
+            shuffler(1 << 20)
+                .with_threads(threads)
+                .shuffle(&input, &mut rng)
+                .unwrap()
+        };
+        let sequential = run(1);
+        assert_eq!(sequential.len(), input.len());
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), sequential, "{threads} workers");
+        }
     }
 
     #[test]

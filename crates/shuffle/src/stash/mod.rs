@@ -11,6 +11,21 @@
 //!   overflow waits in a private *stash*, draining opportunistically into
 //!   later chunks. A final drain writes `K = ⌈S/B⌉` more slots per output
 //!   bucket.
+//!
+//!   Distribution models a **multi-threaded enclave**: buckets are
+//!   pipelined in worker-sized groups, and the expensive per-bucket work —
+//!   ingress decryption plus target assignment, and the AEAD sealing of
+//!   the output chunks — runs on scoped workers, each charging a
+//!   private-memory sub-budget carved from the enclave's remaining budget
+//!   ([`prochlo_sgx::Enclave::split_budget`]) after the stash's worst case
+//!   is reserved up front; a decrypted bucket stays charged to its worker
+//!   from ingress until sealing, so the budget honestly bounds plaintext
+//!   residency. The cheap stash bookkeeping between those two passes stays
+//!   sequential in bucket order (it threads state from bucket to bucket by
+//!   construction). Each bucket derives its own RNG from `(attempt seed,
+//!   bucket index)` and boundary crossings are buffered per bucket and
+//!   committed in bucket order, so the output, the boundary counters *and
+//!   the access trace* are byte-identical at any worker count.
 //! * **Compression** — intermediate buckets are imported one at a time into a
 //!   sliding window of `W` buckets, dummies are discarded, real records are
 //!   shuffled within the window, and exactly `D` records are emitted per
@@ -36,9 +51,10 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use prochlo_crypto::aead::{self, AeadKey};
-use prochlo_sgx::{Enclave, EnclaveMetrics};
+use prochlo_sgx::{BoundaryLog, Enclave, EnclaveMetrics, WorkerPool};
 
 use crate::error::ShuffleError;
+use crate::exec;
 use crate::{uniform_record_len, Records};
 
 pub use params::{StashShuffleParams, Table1Scenario};
@@ -61,8 +77,9 @@ pub struct StashShuffleOutput {
 /// The ingress transform applied to each record as it first enters the
 /// enclave: in the full ESA deployment this removes the outer layer of nested
 /// encryption (a public-key operation); benchmarks that measure the shuffle
-/// alone can pass [`identity_ingress`].
-pub type IngressFn<'a> = dyn Fn(&[u8]) -> Result<Vec<u8>, ShuffleError> + 'a;
+/// alone can pass [`identity_ingress`]. `Sync` because the distribution
+/// phase applies it from scoped worker threads.
+pub type IngressFn<'a> = dyn Fn(&[u8]) -> Result<Vec<u8>, ShuffleError> + Sync + 'a;
 
 /// An ingress transform that passes records through unchanged.
 pub fn identity_ingress(record: &[u8]) -> Result<Vec<u8>, ShuffleError> {
@@ -75,6 +92,24 @@ pub struct StashShuffle {
     params: StashShuffleParams,
     enclave: Enclave,
     max_attempts: usize,
+    num_threads: usize,
+}
+
+/// What one input bucket's parallel ingress pass produced: the decrypted
+/// records paired with their target output buckets, plus the bucket's
+/// boundary log so far (its `copy_in`; the sealing pass appends the
+/// `copy_out`s and the merged log commits once, in bucket order).
+struct BucketIngest {
+    records: Vec<(Vec<u8>, usize)>,
+    log: BoundaryLog,
+}
+
+/// One input bucket's sealed output: `chunks[out_idx]` holds exactly `C`
+/// sealed slots for output bucket `out_idx`, and `log` is the bucket's
+/// complete boundary history (read + chunk writes).
+struct SealedBucket {
+    chunks: Vec<Vec<Vec<u8>>>,
+    log: BoundaryLog,
 }
 
 /// Internal marker for a failed attempt (restart with fresh randomness).
@@ -91,6 +126,7 @@ impl StashShuffle {
             params,
             enclave,
             max_attempts: 10,
+            num_threads: 1,
         }
     }
 
@@ -106,6 +142,15 @@ impl StashShuffle {
     /// Overrides the maximum number of restart attempts.
     pub fn with_max_attempts(mut self, attempts: usize) -> Self {
         self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the number of enclave worker threads the distribution phase
+    /// shards its bucket passes over (a resolved count; default 1). The
+    /// enclave budget is split into equal per-worker sub-budgets, and the
+    /// output is byte-identical at any worker count.
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads.max(1);
         self
     }
 
@@ -187,6 +232,10 @@ impl StashShuffle {
         // Ephemeral key protecting the intermediate array; a new key per
         // attempt means failed attempts leak nothing about the final order.
         let ephemeral_key = AeadKey::random(rng);
+        // Seed for the per-bucket generators of the parallel passes: every
+        // bucket's randomness is a pure function of (attempt seed, bucket
+        // index), so the attempt replays identically at any worker count.
+        let attempt_seed = rng.next_u64();
 
         // Determine the inner record length from the first record.
         let first_inner = ingress(&input[0]).map_err(AttemptFailure::Fatal)?;
@@ -195,14 +244,6 @@ impl StashShuffle {
         // decryption; sealed slots all have identical length.
         let slot_plain_len = 1 + inner_len;
         let sealed_slot_len = slot_plain_len + aead::NONCE_LEN + aead::TAG_LEN;
-
-        // ---------------- Distribution phase ----------------
-        // The intermediate array lives in untrusted memory.
-        let mut mid: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(b * c + k); b];
-        // The stash lives in private memory.
-        let mut stash: Vec<VecDeque<Vec<u8>>> = vec![VecDeque::new(); b];
-        let mut stash_total = 0usize;
-        let mut slot_counter = 0u64;
 
         let charge = |bytes: usize| -> Result<(), AttemptFailure> {
             self.enclave
@@ -215,123 +256,209 @@ impl StashShuffle {
                 .expect("charges and releases are balanced");
         };
 
-        for bucket_idx in 0..b {
-            let start = bucket_idx * d;
-            let end = ((bucket_idx + 1) * d).min(n);
-            if start >= end {
-                // Still write dummy-only chunks for empty trailing buckets so
-                // the access pattern only depends on N and the parameters.
-                for (out_idx, chunk) in mid.iter_mut().enumerate() {
-                    for _ in 0..c {
-                        chunk.push(seal_slot(
-                            &ephemeral_key,
-                            &mut slot_counter,
-                            None,
-                            inner_len,
-                        ));
-                    }
-                    self.enclave
-                        .copy_out("write-intermediate-chunk", out_idx, c * sealed_slot_len);
-                }
-                continue;
-            }
-            let bucket = &input[start..end];
+        // ---------------- Distribution phase ----------------
+        // Modelled as a multi-threaded enclave. The stash's worst case is
+        // reserved up front, so worker sub-budgets are carved from what is
+        // genuinely left: a worker that stays within its sub-budget can
+        // never fail the global budget check, which keeps out-of-memory
+        // outcomes a pure function of the configuration — never of how
+        // worker charges happened to overlap in time.
+        //
+        // Buckets are processed in groups of `workers`, each group a
+        // three-step pipeline:
+        //
+        //   A. (parallel) per-bucket ingress decryption + target
+        //      assignment; the decrypted bucket is charged to its worker's
+        //      sub-budget and stays resident until step C seals it, so the
+        //      budget honestly bounds plaintext residency: at most
+        //      `workers` buckets plus the reserved stash, never the whole
+        //      batch;
+        //   B. (sequential) the stash discipline — drain stashed records
+        //      into chunks with room, overflow new records into the stash
+        //      — which threads state from bucket to bucket by construction
+        //      and is pure bookkeeping over already-decrypted records;
+        //   C. (parallel) per-bucket AEAD sealing and dummy padding of the
+        //      B output chunks, then release of the bucket's charges.
+        //
+        // Within a group, bucket `i` always uses worker `i % workers`, so
+        // the step C release meets the step A charge on the same worker.
+        // Each bucket's boundary crossings accumulate in one log (copy_in
+        // from step A, copy_outs from step C) committed in bucket order,
+        // so output, boundary counters and the access trace are all
+        // byte-identical at any worker count — and identical to the
+        // sequential algorithm's trace.
+        let workers = self.num_threads;
+        charge(s * inner_len)?;
+        let stash_reservation = ReservedPrivate {
+            enclave: &self.enclave,
+            bytes: s * inner_len,
+        };
+        let pool = WorkerPool::split(&self.enclave, workers);
 
-            // Read the input bucket into private memory.
-            let bucket_bytes: usize = bucket.iter().map(Vec::len).sum();
-            self.enclave
-                .copy_in("read-input-bucket", bucket_idx, bucket_bytes);
-            // Private memory: the decrypted input bucket plus the B output
-            // chunks of C slots each.
-            let working_bytes = d * inner_len + b * c * slot_plain_len;
-            charge(working_bytes)?;
+        let real_buckets = n.div_ceil(d);
+        let mut mid: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(b * c + k); b];
+        let mut stash: Vec<VecDeque<Vec<u8>>> = vec![VecDeque::new(); b];
+        let mut stash_total = 0usize;
 
-            // Assign a random target bucket to every record using the
-            // "records and separators" shuffle of Algorithm 2 (stars and
-            // bars), then shuffle which record gets which slot.
-            let targets = shuffle_to_buckets(bucket.len(), b, rng);
+        for group_start in (0..real_buckets).step_by(workers) {
+            let group_end = (group_start + workers).min(real_buckets);
+            let group_records = &input[group_start * d..(group_end * d).min(n)];
 
-            // Output chunks under construction (plaintext, in private memory).
-            let mut chunks: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(c); b];
-
-            // Step 1: drain stashed records into chunks with room.
-            for (out_idx, chunk) in chunks.iter_mut().enumerate() {
-                while chunk.len() < c {
-                    match stash[out_idx].pop_front() {
-                        Some(item) => {
-                            release(item.len());
-                            stash_total -= 1;
-                            chunk.push(item);
+            // Step A. `par_chunks` with chunk size D yields exactly this
+            // group's input buckets.
+            let ingested: Vec<Result<BucketIngest, AttemptFailure>> =
+                exec::par_chunks(group_records, workers, d, |rel_idx, bucket| {
+                    let bucket_idx = group_start + rel_idx;
+                    let mut log = BoundaryLog::new();
+                    let bucket_bytes: usize = bucket.iter().map(Vec::len).sum();
+                    log.copy_in("read-input-bucket", bucket_idx, bucket_bytes);
+                    pool.with_exact(rel_idx, |worker| {
+                        // The decrypted bucket, held until step C seals it.
+                        // On failure below, the worker's Drop releases it.
+                        worker
+                            .charge_private(d * inner_len)
+                            .map_err(|e| AttemptFailure::Fatal(e.into()))?;
+                        // Assign a random target bucket to every record
+                        // using the "records and separators" shuffle of
+                        // Algorithm 2 (stars and bars), then shuffle which
+                        // record gets which slot — all from this bucket's
+                        // derived generator.
+                        let mut bucket_rng = exec::chunk_rng(attempt_seed, bucket_idx as u64);
+                        let targets = shuffle_to_buckets(bucket.len(), b, &mut bucket_rng);
+                        let mut records = Vec::with_capacity(bucket.len());
+                        for (record, &target) in bucket.iter().zip(targets.iter()) {
+                            let inner = ingress(record).map_err(AttemptFailure::Fatal)?;
+                            if inner.len() != inner_len {
+                                return Err(AttemptFailure::Fatal(ShuffleError::NonUniformRecords));
+                            }
+                            records.push((inner, target));
                         }
-                        None => break,
+                        Ok(BucketIngest { records, log })
+                    })
+                });
+
+            // Step B: the sequential stash discipline, in bucket order.
+            // Stashed records are covered by the up-front reservation
+            // (`stash_total` never exceeds S). `plans[rel][out]` is the
+            // plaintext chunk (≤ C records) step C will seal.
+            let mut plans: Vec<(Vec<Vec<Vec<u8>>>, BoundaryLog)> =
+                Vec::with_capacity(group_end - group_start);
+            for ingest in ingested {
+                let BucketIngest { records, log } = ingest?;
+                let mut chunks: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(c); b];
+
+                // Drain stashed records into chunks with room.
+                for (out_idx, chunk) in chunks.iter_mut().enumerate() {
+                    while chunk.len() < c {
+                        match stash[out_idx].pop_front() {
+                            Some(item) => {
+                                stash_total -= 1;
+                                chunk.push(item);
+                            }
+                            None => break,
+                        }
                     }
                 }
-            }
 
-            // Step 2: distribute this bucket's records.
-            for (record, &target) in bucket.iter().zip(targets.iter()) {
-                let inner = match ingress(record) {
-                    Ok(inner) => inner,
-                    Err(e) => {
-                        release(working_bytes);
-                        return Err(AttemptFailure::Fatal(e));
+                // Distribute this bucket's records.
+                for (inner, target) in records {
+                    if chunks[target].len() < c {
+                        chunks[target].push(inner);
+                    } else if stash_total < s {
+                        stash_total += 1;
+                        stash[target].push_back(inner);
+                    } else {
+                        return Err(AttemptFailure::StashOverflow);
                     }
-                };
-                if inner.len() != inner_len {
-                    release(working_bytes);
-                    return Err(AttemptFailure::Fatal(ShuffleError::NonUniformRecords));
                 }
-                if chunks[target].len() < c {
-                    chunks[target].push(inner);
-                } else if stash_total < s {
-                    charge(inner.len())?;
-                    stash_total += 1;
-                    stash[target].push_back(inner);
-                } else {
-                    release(working_bytes);
-                    // Release whatever the stash holds before restarting.
-                    release_stash(&self.enclave, &mut stash, &mut stash_total);
-                    return Err(AttemptFailure::StashOverflow);
-                }
+                plans.push((chunks, log));
             }
 
-            // Step 3: pad chunks with dummies, seal and write out.
-            for (out_idx, chunk) in chunks.into_iter().enumerate() {
-                let mut written = 0usize;
-                for item in chunk.iter() {
-                    mid[out_idx].push(seal_slot(
-                        &ephemeral_key,
-                        &mut slot_counter,
-                        Some(item),
-                        inner_len,
-                    ));
-                    written += 1;
+            // Step C: seal and pad each bucket's B chunks on the worker
+            // that holds its step A charge, then release both working
+            // sets. Slot nonces derive from the global slot position — a
+            // pure function of (bucket, output bucket, slot) — instead of
+            // a shared counter, so sealing parallelizes without
+            // coordination and nonces stay unique.
+            let sealed: Vec<Result<SealedBucket, AttemptFailure>> =
+                exec::par_chunks(&plans, workers, 1, |rel_idx, plan| {
+                    let bucket_idx = group_start + rel_idx;
+                    let (plan, log) = &plan[0];
+                    let mut log = log.clone();
+                    pool.with_exact(rel_idx, |worker| {
+                        // The B output chunks of C slots each.
+                        let sealing_bytes = b * c * slot_plain_len;
+                        worker
+                            .charge_private(sealing_bytes)
+                            .map_err(|e| AttemptFailure::Fatal(e.into()))?;
+                        let mut chunks = Vec::with_capacity(b);
+                        for (out_idx, items) in plan.iter().enumerate() {
+                            let base = ((bucket_idx * b + out_idx) * c) as u64;
+                            let mut slots = Vec::with_capacity(c);
+                            for (j, item) in items.iter().enumerate() {
+                                slots.push(seal_slot(
+                                    &ephemeral_key,
+                                    base + j as u64,
+                                    Some(item),
+                                    inner_len,
+                                ));
+                            }
+                            for j in items.len()..c {
+                                slots.push(seal_slot(
+                                    &ephemeral_key,
+                                    base + j as u64,
+                                    None,
+                                    inner_len,
+                                ));
+                            }
+                            log.copy_out("write-intermediate-chunk", out_idx, c * sealed_slot_len);
+                            chunks.push(slots);
+                        }
+                        worker
+                            .release_private(sealing_bytes + d * inner_len)
+                            .expect("charges and releases are balanced");
+                        Ok(SealedBucket { chunks, log })
+                    })
+                });
+
+            // Merge: the intermediate array (in untrusted memory), chunk
+            // lists appended — and logs committed — in bucket order.
+            for bucket in sealed {
+                let SealedBucket { chunks, log } = bucket?;
+                log.commit(&self.enclave);
+                for (out_idx, slots) in chunks.into_iter().enumerate() {
+                    mid[out_idx].extend(slots);
                 }
-                for _ in written..c {
-                    mid[out_idx].push(seal_slot(
-                        &ephemeral_key,
-                        &mut slot_counter,
-                        None,
-                        inner_len,
-                    ));
+            }
+        }
+
+        // Empty trailing buckets still write dummy-only chunks (no stash
+        // drain, and outside any charged working set, exactly as the
+        // sequential algorithm) so the access pattern only depends on N
+        // and the parameters.
+        for bucket_idx in real_buckets..b {
+            for (out_idx, out_bucket) in mid.iter_mut().enumerate() {
+                let base = ((bucket_idx * b + out_idx) * c) as u64;
+                for j in 0..c {
+                    out_bucket.push(seal_slot(&ephemeral_key, base + j as u64, None, inner_len));
                 }
                 self.enclave
                     .copy_out("write-intermediate-chunk", out_idx, c * sealed_slot_len);
             }
-            release(working_bytes);
         }
 
         // Final stash drain: K slots per output bucket (Algorithm 1, line 5).
+        let drain_base = (b * b * c) as u64;
         for out_idx in 0..b {
+            let base = drain_base + (out_idx * k) as u64;
             let mut written = 0usize;
             while written < k {
                 match stash[out_idx].pop_front() {
                     Some(item) => {
-                        release(item.len());
                         stash_total -= 1;
                         mid[out_idx].push(seal_slot(
                             &ephemeral_key,
-                            &mut slot_counter,
+                            base + written as u64,
                             Some(&item),
                             inner_len,
                         ));
@@ -340,19 +467,17 @@ impl StashShuffle {
                     None => break,
                 }
             }
-            for _ in written..k {
-                mid[out_idx].push(seal_slot(
-                    &ephemeral_key,
-                    &mut slot_counter,
-                    None,
-                    inner_len,
-                ));
+            for j in written..k {
+                mid[out_idx].push(seal_slot(&ephemeral_key, base + j as u64, None, inner_len));
             }
             self.enclave
                 .copy_out("write-stash-drain", out_idx, k * sealed_slot_len);
         }
+        // The stash is drained (or the attempt restarts): hand its
+        // reservation back before the compression phase charges its own
+        // working sets.
+        drop(stash_reservation);
         if stash_total > 0 {
-            release_stash(&self.enclave, &mut stash, &mut stash_total);
             return Err(AttemptFailure::StashOverflow);
         }
         let intermediate_slots: usize = mid.iter().map(Vec::len).sum();
@@ -452,16 +577,19 @@ impl StashShuffle {
     }
 }
 
-/// Releases all private memory still held by the stash after a failed attempt.
-fn release_stash(enclave: &Enclave, stash: &mut [VecDeque<Vec<u8>>], total: &mut usize) {
-    for bucket in stash.iter_mut() {
-        for item in bucket.drain(..) {
-            enclave
-                .release_private(item.len())
-                .expect("stash charges are balanced");
-        }
+/// An up-front private-memory reservation (the stash's worst case) released
+/// on every exit path — success, restart or fatal error alike.
+struct ReservedPrivate<'a> {
+    enclave: &'a Enclave,
+    bytes: usize,
+}
+
+impl Drop for ReservedPrivate<'_> {
+    fn drop(&mut self) {
+        self.enclave
+            .release_private(self.bytes)
+            .expect("reservation release cannot underflow");
     }
-    *total = 0;
 }
 
 /// Algorithm 2's SHUFFLETOBUCKETS: shuffles `items` records and `buckets - 1`
@@ -491,15 +619,11 @@ fn shuffle_to_buckets<R: Rng + ?Sized>(items: usize, buckets: usize, rng: &mut R
     targets_in_order
 }
 
-/// Seals one intermediate slot (real record or dummy) with the ephemeral key.
-fn seal_slot(
-    key: &AeadKey,
-    slot_counter: &mut u64,
-    record: Option<&[u8]>,
-    inner_len: usize,
-) -> Vec<u8> {
-    let index = *slot_counter;
-    *slot_counter += 1;
+/// Seals one intermediate slot (real record or dummy) with the ephemeral
+/// key. `index` is the slot's global position in the intermediate array — a
+/// pure function of (input bucket, output bucket, slot offset), so parallel
+/// sealing needs no shared counter and nonces never collide under one key.
+fn seal_slot(key: &AeadKey, index: u64, record: Option<&[u8]>, inner_len: usize) -> Vec<u8> {
     let mut plain = Vec::with_capacity(1 + inner_len);
     match record {
         Some(bytes) => {
@@ -730,6 +854,52 @@ mod tests {
     }
 
     #[test]
+    fn output_and_trace_are_thread_count_invariant() {
+        // The distribution phase must be a pure function of (input, rng),
+        // no matter how many enclave workers shard it: records, metrics and
+        // the access trace all byte-identical.
+        let input = records(2_500, 24);
+        let run = |threads: usize| {
+            let params = StashShuffleParams::derive(input.len());
+            let enclave = Enclave::new(EnclaveConfig {
+                private_memory_bytes: 8 * 1024 * 1024,
+                record_trace: true,
+                code_identity: "threads-test".into(),
+            });
+            let shuffler = StashShuffle::new(params, enclave).with_threads(threads);
+            let mut rng = StdRng::seed_from_u64(77);
+            let out = shuffler.shuffle(&input, &mut rng).unwrap();
+            (out.records, out.attempts, shuffler.enclave().trace())
+        };
+        let sequential = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), sequential, "{threads} workers");
+        }
+    }
+
+    #[test]
+    fn worker_sub_budgets_sum_to_the_enclave_budget() {
+        // Each distribution worker gets budget/threads; a bucket working
+        // set that fits the whole budget but not a sub-budget must fail.
+        let input = records(2_000, 64);
+        let params = StashShuffleParams::derive(input.len());
+        let budget_needed = params.items_per_bucket(input.len()) * 64;
+        let enclave = Enclave::new(EnclaveConfig {
+            // Room for one bucket on one worker, but not for an eighth of
+            // the budget per worker at 8 workers.
+            private_memory_bytes: budget_needed * 4,
+            record_trace: false,
+            code_identity: "sub-budget".into(),
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = StashShuffle::new(params, enclave)
+            .with_threads(8)
+            .shuffle(&input, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, ShuffleError::Enclave(_)), "{err:?}");
+    }
+
+    #[test]
     fn access_trace_is_data_independent() {
         // Two completely different datasets of the same size and record
         // length must produce identical access traces when the shuffler uses
@@ -798,9 +968,8 @@ mod tests {
     fn slot_seal_open_roundtrip_and_dummy_flag() {
         let mut rng = StdRng::seed_from_u64(13);
         let key = AeadKey::random(&mut rng);
-        let mut counter = 0u64;
-        let sealed_real = seal_slot(&key, &mut counter, Some(b"hello-world-1234"), 16);
-        let sealed_dummy = seal_slot(&key, &mut counter, None, 16);
+        let sealed_real = seal_slot(&key, 0, Some(b"hello-world-1234"), 16);
+        let sealed_dummy = seal_slot(&key, 1, None, 16);
         assert_eq!(sealed_real.len(), sealed_dummy.len());
         assert_eq!(
             open_slot(&key, &sealed_real, 0).unwrap().unwrap(),

@@ -43,7 +43,10 @@ pub fn rmse(predictions: &[f64], targets: &[f64]) -> f64 {
     (sse / predictions.len() as f64).sqrt()
 }
 
-/// The `q`-th percentile (0 ≤ q ≤ 100) using nearest-rank on a sorted copy.
+/// The `q`-th percentile (0 ≤ q ≤ 100) using nearest-rank on a sorted copy:
+/// the smallest element such that at least `q` percent of the data is less
+/// than or equal to it, i.e. the element at rank `⌈q/100 · n⌉` (1-based;
+/// `q = 0` returns the minimum).
 ///
 /// # Panics
 ///
@@ -53,8 +56,8 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
     assert!((0.0..=100.0).contains(&q), "percentile must be in [0, 100]");
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
-    let rank = ((q / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-    sorted[rank]
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
 }
 
 #[cfg(test)]
@@ -106,5 +109,32 @@ mod tests {
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&xs, 100.0), 5.0);
         assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_is_true_nearest_rank() {
+        // n = 4, q = 25: rank ⌈0.25·4⌉ = 1, the *first* sorted element —
+        // the interpolating round(q/100·(n−1)) formula wrongly gave the
+        // second.
+        let xs = [40.0, 10.0, 20.0, 30.0];
+        assert_eq!(percentile(&xs, 25.0), 10.0);
+        assert_eq!(percentile(&xs, 50.0), 20.0);
+        assert_eq!(percentile(&xs, 75.0), 30.0);
+        // Anything strictly above 75 needs the 4th element.
+        assert_eq!(percentile(&xs, 75.1), 40.0);
+    }
+
+    #[test]
+    fn percentile_of_single_element_is_that_element() {
+        for q in [0.0, 25.0, 50.0, 99.9, 100.0] {
+            assert_eq!(percentile(&[7.5], q), 7.5, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn percentile_just_below_100_is_the_maximum() {
+        let xs = [2.0, 4.0, 6.0, 8.0];
+        // ⌈0.999·4⌉ = 4 → the last element, without indexing past the end.
+        assert_eq!(percentile(&xs, 99.9), 8.0);
     }
 }

@@ -32,10 +32,16 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    // A typo'd thread count is fatal for the same reason: the operator made
+    // a selection, so refusing to start beats running with a different one.
+    let threads = exec::resolve_threads(engine.num_threads).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     println!(
         "shuffle engine: backend={}, threads={}",
         engine.backend.name(),
-        exec::resolve_threads(engine.num_threads),
+        threads,
     );
 
     // Part 1: a multi-epoch live run. 8 client threads push 3000 reports;
