@@ -10,7 +10,7 @@
 use std::net::SocketAddr;
 use std::sync::Arc;
 
-use prochlo_bench::{env_usize, fmt_records, print_header, timed};
+use prochlo_bench::{emit_metric, env_usize, fmt_records, print_header, timed};
 use prochlo_collector::{IngestConfig, IngestCore, Response, NONCE_LEN};
 use prochlo_crypto::hybrid::{HybridCiphertext, HybridKeypair};
 use rand::rngs::StdRng;
@@ -82,6 +82,11 @@ fn main() {
             workers,
             fmt_records(per_worker * workers),
             seconds,
+            accepted as f64 / seconds,
+        );
+        emit_metric(
+            "collector_ingest",
+            &format!("reports_per_sec_t{workers}"),
             accepted as f64 / seconds,
         );
         // Keep the queue from outliving the measurement with gigabytes of

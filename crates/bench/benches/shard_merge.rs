@@ -1,0 +1,86 @@
+//! Cross-shard merge throughput: the driver-side cost of the networked
+//! fabric's final step — decoding each shard's [`ShardSummary`] off the
+//! wire and folding its rows into the merged analyzer database.
+//!
+//! The fabric ships per-shard results as wire-encoded summaries; the
+//! driver rebuilds a database per summary and merges in shard order (the
+//! order is fixed by the determinism contract, so this path is inherently
+//! sequential — its throughput bounds how fast a deployment can close an
+//! epoch as shards multiply). Scale with `PROCHLO_MERGE_SHARDS` (default
+//! 8) and `PROCHLO_MERGE_ROWS` (rows per shard, default 100_000).
+
+use prochlo_bench::{emit_metric, env_usize, fmt_records, print_header, timed};
+use prochlo_core::shuffler::ShufflerStats;
+use prochlo_core::AnalyzerDatabase;
+use prochlo_fabric::transport::WireMessage;
+use prochlo_fabric::ShardSummary;
+
+fn main() {
+    let shards = env_usize("PROCHLO_MERGE_SHARDS", 8).max(1);
+    let rows_per_shard = env_usize("PROCHLO_MERGE_ROWS", 100_000);
+
+    // Synthesize each shard's summary: rows drawn from a shared value
+    // universe (so merging actually coalesces histogram entries, as crowds
+    // spanning epochs do) plus a plausible per-shard counter block.
+    let summaries: Vec<Vec<u8>> = (0..shards)
+        .map(|shard| {
+            let rows: Vec<Vec<u8>> = (0..rows_per_shard)
+                .map(|i| format!("value-{:05}", (shard + i * 7) % 4096).into_bytes())
+                .collect();
+            ShardSummary {
+                shard: shard as u16,
+                epoch_index: 0,
+                rows,
+                undecryptable: shard,
+                pending_secret_groups: 0,
+                pending_secret_reports: 0,
+                recovered_secrets: 0,
+                stats: ShufflerStats {
+                    received: rows_per_shard,
+                    forwarded: rows_per_shard,
+                    backend: "inline",
+                    ..ShufflerStats::default()
+                },
+            }
+            .to_wire()
+        })
+        .collect();
+    let wire_bytes: usize = summaries.iter().map(Vec::len).sum();
+
+    print_header(
+        "Cross-shard merge (summary decode + database rebuild + merge)",
+        &["shards", "rows/shard", "wire MB", "time (s)", "rows/sec"],
+    );
+
+    let total_rows = shards * rows_per_shard;
+    let (merged, seconds) = timed(|| {
+        let mut merged = AnalyzerDatabase::default();
+        for bytes in &summaries {
+            let summary = ShardSummary::from_wire(bytes).expect("decode summary");
+            merged.merge_from(&AnalyzerDatabase::from_rows(summary.rows));
+        }
+        merged
+    });
+    assert_eq!(merged.rows().len(), total_rows, "every row must survive");
+    println!(
+        "{:>6} | {:>10} | {:>7.1} | {:>8.3} | {:>12.0}",
+        shards,
+        fmt_records(rows_per_shard),
+        wire_bytes as f64 / (1024.0 * 1024.0),
+        seconds,
+        total_rows as f64 / seconds,
+    );
+    emit_metric("shard_merge", "rows_per_sec", total_rows as f64 / seconds);
+
+    // The canonical histogram is what cross-run comparisons diff against;
+    // its cost at the merged size closes out the epoch.
+    let (histogram, canon_seconds) = timed(|| merged.canonical_histogram_bytes());
+    // Human-readable only: at any realistic distinct-value count this is
+    // sub-millisecond, too noisy to gate on.
+    println!(
+        "canonical histogram: {} bytes over {} distinct values in {:.3}s",
+        histogram.len(),
+        merged.distinct_values(),
+        canon_seconds,
+    );
+}

@@ -14,7 +14,7 @@
 //!   (default `1,2,4,8`);
 //! * `PROCHLO_SHUFFLE_BACKEND` — backend to sweep (default `trusted`).
 
-use prochlo_bench::{env_usize, env_usize_list, fmt_records, print_header, timed};
+use prochlo_bench::{emit_metric, env_usize, env_usize_list, fmt_records, print_header, timed};
 use prochlo_core::encoder::CrowdStrategy;
 use prochlo_core::{epoch_rng, exec, Deployment, EngineConfig};
 
@@ -124,6 +124,11 @@ fn main() {
             outcome.stats.timings.threshold_seconds,
             outcome.stats.timings.shuffle_seconds,
             baseline / secs,
+            records as f64 / secs,
+        );
+        emit_metric(
+            "shuffler_scaling",
+            &format!("{}_reports_per_sec_t{}", backend.name(), num_threads),
             records as f64 / secs,
         );
     }

@@ -1,0 +1,87 @@
+//! Compares bench output against the committed baseline and emits GitHub
+//! workflow-command annotations for regressions.
+//!
+//! Usage: `bench_compare BENCH_baseline.json bench-out/*.txt`
+//!
+//! Each harness prints `BENCHJSON {"bench":...,"metric":...,"value":...}`
+//! lines (see `prochlo_bench::emit_metric`); this tool greps them back out
+//! of the teed output files and compares every metric present in the
+//! baseline. All metrics are throughputs, so only a *drop* is a
+//! regression. CI runners vary wildly between nights, so the bar is
+//! deliberately loose — a metric must fall below half its baseline to
+//! warn — and the tool always exits 0: annotations, not failures, are the
+//! interface (`::warning::` lines surface on the workflow summary).
+
+use std::process::ExitCode;
+
+use prochlo_bench::{parse_baseline, parse_metric_line};
+
+/// A metric below this fraction of its baseline is annotated.
+const REGRESSION_FLOOR: f64 = 0.5;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, output_paths @ ..] = args.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <bench-output.txt>...");
+        return ExitCode::from(2);
+    };
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: read {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = parse_baseline(&baseline_text);
+    if baseline.is_empty() {
+        eprintln!("error: {baseline_path} holds no \"bench/metric\": number entries");
+        return ExitCode::from(2);
+    }
+
+    let mut measured: Vec<(String, f64)> = Vec::new();
+    for path in output_paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                // A missing output file usually means the bench step was
+                // skipped; annotate rather than abort so the remaining
+                // files still get compared.
+                println!("::warning::bench_compare: cannot read {path}: {e}");
+                continue;
+            }
+        };
+        measured.extend(text.lines().filter_map(parse_metric_line));
+    }
+
+    let mut regressions = 0usize;
+    for (key, expected) in &baseline {
+        let Some((_, actual)) = measured.iter().find(|(k, _)| k == key) else {
+            println!("::warning::bench_compare: baseline metric {key} was not measured this run");
+            continue;
+        };
+        let ratio = actual / expected;
+        let verdict = if ratio < REGRESSION_FLOOR {
+            regressions += 1;
+            println!(
+                "::warning::bench regression: {key} at {actual:.0} is {:.0}% of \
+                 the {expected:.0} baseline",
+                ratio * 100.0
+            );
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("{key}: {actual:.0} vs baseline {expected:.0} ({ratio:.2}x) {verdict}");
+    }
+    for (key, value) in &measured {
+        if !baseline.iter().any(|(k, _)| k == key) {
+            println!("{key}: {value:.0} (no baseline; add it to BENCH_baseline.json)");
+        }
+    }
+    println!(
+        "bench_compare: {} baseline metrics, {} regressions",
+        baseline.len(),
+        regressions
+    );
+    ExitCode::SUCCESS
+}

@@ -54,6 +54,62 @@ pub fn print_header(title: &str, columns: &[&str]) {
     );
 }
 
+/// Emits one machine-readable metric line alongside the human table.
+///
+/// The nightly workflow tees each harness's stdout to a file; the
+/// `bench_compare` binary greps these lines back out and compares them
+/// against the committed `BENCH_baseline.json`. Every metric is a
+/// throughput (higher is better).
+pub fn emit_metric(bench: &str, metric: &str, value: f64) {
+    println!("BENCHJSON {{\"bench\":\"{bench}\",\"metric\":\"{metric}\",\"value\":{value:.1}}}");
+}
+
+/// Parses a line produced by [`emit_metric`] back into
+/// `(bench/metric, value)`. Returns `None` for every other line, so callers
+/// can feed whole output files through it.
+pub fn parse_metric_line(line: &str) -> Option<(String, f64)> {
+    let body = line.trim().strip_prefix("BENCHJSON ")?;
+    let field = |name: &str| -> Option<&str> {
+        let key = format!("\"{name}\":");
+        let start = body.find(&key)? + key.len();
+        let rest = &body[start..];
+        let rest = rest.strip_prefix('"').unwrap_or(rest);
+        let end = rest.find(['"', ',', '}'])?;
+        Some(&rest[..end])
+    };
+    let bench = field("bench")?;
+    let metric = field("metric")?;
+    let value: f64 = field("value")?.trim().parse().ok()?;
+    Some((format!("{bench}/{metric}"), value))
+}
+
+/// Parses the committed baseline file: a flat JSON object mapping
+/// `"bench/metric"` keys to numbers. Hand-rolled (the workspace takes no
+/// JSON dependency) and intentionally strict about shape: anything it does
+/// not understand is skipped rather than misread.
+pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(open) = json.find('{') else {
+        return out;
+    };
+    let Some(close) = json.rfind('}') else {
+        return out;
+    };
+    for entry in json[open + 1..close].split(',') {
+        let Some((key, value)) = entry.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key.is_empty() {
+            continue;
+        }
+        if let Ok(value) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), value));
+        }
+    }
+    out
+}
+
 /// Formats a number of records compactly (10M, 50K, ...).
 pub fn fmt_records(n: usize) -> String {
     if n >= 1_000_000 && n.is_multiple_of(1_000_000) {
@@ -90,5 +146,33 @@ mod tests {
         let (value, seconds) = timed(|| 21 * 2);
         assert_eq!(value, 42);
         assert!(seconds >= 0.0);
+    }
+
+    #[test]
+    fn metric_lines_round_trip() {
+        let line =
+            "BENCHJSON {\"bench\":\"shard_merge\",\"metric\":\"rows_per_sec\",\"value\":1234.5}";
+        assert_eq!(
+            parse_metric_line(line),
+            Some(("shard_merge/rows_per_sec".to_string(), 1234.5))
+        );
+        assert_eq!(parse_metric_line("collector: 42 reports"), None);
+        assert_eq!(parse_metric_line("BENCHJSON {not json"), None);
+    }
+
+    #[test]
+    fn baseline_parses_flat_objects() {
+        let baseline = r#"{
+            "collector_ingest/reports_per_sec_t1": 100000.0,
+            "shard_merge/rows_per_sec": 2.5e6
+        }"#;
+        assert_eq!(
+            parse_baseline(baseline),
+            vec![
+                ("collector_ingest/reports_per_sec_t1".to_string(), 100000.0),
+                ("shard_merge/rows_per_sec".to_string(), 2.5e6),
+            ]
+        );
+        assert!(parse_baseline("not json at all").is_empty());
     }
 }

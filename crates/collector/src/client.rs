@@ -1,17 +1,81 @@
-//! A minimal blocking client for the collector protocol.
+//! Report submission: the [`ReportSink`] trait and its implementations.
 //!
-//! This is what the client simulator, the integration tests and any
-//! command-line tooling use; a production client device would embed the
-//! same framing behind its upload scheduler.
+//! Everything that pushes sealed reports at a collector — the client
+//! simulator, the integration tests, the shard router's per-shard
+//! forwarding legs, future soak harnesses — goes through one submission
+//! API instead of reaching into connection internals:
+//!
+//! * [`CollectorClient`] — the blocking TCP client speaking the collector
+//!   frame protocol; what a production client device would embed behind
+//!   its upload scheduler.
+//! * [`InProcessSink`] — feeds an [`IngestCore`] directly, for tests and
+//!   single-process deployments that want the exact ingest semantics
+//!   (dedup, backpressure) without a socket.
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::error::CollectorError;
+use crate::ingest::IngestCore;
 use crate::protocol::{read_frame, write_frame, Request, Response, NONCE_LEN};
 
-/// One client connection to a collector.
+/// A destination for sealed report submissions.
+///
+/// The verdict vocabulary is the collector protocol's [`Response`]
+/// regardless of transport, so callers handle backpressure and replay
+/// dedup the same way against a socket or an in-process queue.
+pub trait ReportSink {
+    /// Submits one sealed report under `nonce` and returns the verdict.
+    fn submit(
+        &mut self,
+        nonce: &[u8; NONCE_LEN],
+        report: &[u8],
+    ) -> Result<Response, CollectorError>;
+
+    /// Submits one sealed report together with its cleartext crowd-routing
+    /// prefix (see [`prochlo_core::deployment::crowd_prefix`]), for sinks
+    /// that route by crowd before ingesting. Sinks that do not route
+    /// ignore the prefix.
+    fn submit_routed(
+        &mut self,
+        crowd_prefix: u64,
+        nonce: &[u8; NONCE_LEN],
+        report: &[u8],
+    ) -> Result<Response, CollectorError> {
+        let _ = crowd_prefix;
+        self.submit(nonce, report)
+    }
+
+    /// Submits a report, sleeping out `RetryAfter` responses (with the same
+    /// nonce, so a raced submission is never double-counted) until the sink
+    /// gives a final verdict or `max_attempts` is exhausted.
+    fn submit_with_retry(
+        &mut self,
+        nonce: &[u8; NONCE_LEN],
+        report: &[u8],
+        max_attempts: usize,
+    ) -> Result<Response, CollectorError> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match self.submit(nonce, report)? {
+                Response::RetryAfter { millis } if attempts < max_attempts => {
+                    // Cap the server hint so a test misconfiguration cannot
+                    // park a client thread for minutes.
+                    std::thread::sleep(Duration::from_millis(u64::from(millis).min(1000)));
+                }
+                Response::RetryAfter { .. } => {
+                    return Err(CollectorError::RetriesExhausted { attempts })
+                }
+                verdict => return Ok(verdict),
+            }
+        }
+    }
+}
+
+/// One client connection to a collector over TCP.
 #[derive(Debug)]
 pub struct CollectorClient {
     reader: BufReader<TcpStream>,
@@ -47,8 +111,14 @@ impl CollectorClient {
         Response::from_bytes(&body)
     }
 
-    /// Submits one sealed report under `nonce` and returns the verdict.
-    pub fn submit(
+    /// Probes the collector, returning the `Ack` queue-depth hint.
+    pub fn ping(&mut self) -> Result<Response, CollectorError> {
+        self.round_trip(&Request::Ping)
+    }
+}
+
+impl ReportSink for CollectorClient {
+    fn submit(
         &mut self,
         nonce: &[u8; NONCE_LEN],
         report: &[u8],
@@ -59,34 +129,42 @@ impl CollectorClient {
         })
     }
 
-    /// Submits a report, sleeping out `RetryAfter` responses (with the same
-    /// nonce, so a raced submission is never double-counted) until the
-    /// collector gives a final verdict or `max_attempts` is exhausted.
-    pub fn submit_with_retry(
+    fn submit_routed(
+        &mut self,
+        crowd_prefix: u64,
+        nonce: &[u8; NONCE_LEN],
+        report: &[u8],
+    ) -> Result<Response, CollectorError> {
+        self.round_trip(&Request::SubmitRouted {
+            crowd_prefix,
+            nonce: *nonce,
+            report: report.to_vec(),
+        })
+    }
+}
+
+/// A sink that feeds an [`IngestCore`] directly — the collector's parse,
+/// dedup and enqueue semantics without a socket.
+#[derive(Debug, Clone)]
+pub struct InProcessSink {
+    ingest: Arc<IngestCore>,
+    peer: SocketAddr,
+}
+
+impl InProcessSink {
+    /// Wraps an ingest core; `peer` is recorded as the transport metadata
+    /// the shuffler later strips.
+    pub fn new(ingest: Arc<IngestCore>, peer: SocketAddr) -> Self {
+        Self { ingest, peer }
+    }
+}
+
+impl ReportSink for InProcessSink {
+    fn submit(
         &mut self,
         nonce: &[u8; NONCE_LEN],
         report: &[u8],
-        max_attempts: usize,
     ) -> Result<Response, CollectorError> {
-        let mut attempts = 0;
-        loop {
-            attempts += 1;
-            match self.submit(nonce, report)? {
-                Response::RetryAfter { millis } if attempts < max_attempts => {
-                    // Cap the server hint so a test misconfiguration cannot
-                    // park a client thread for minutes.
-                    std::thread::sleep(Duration::from_millis(u64::from(millis).min(1000)));
-                }
-                Response::RetryAfter { .. } => {
-                    return Err(CollectorError::RetriesExhausted { attempts })
-                }
-                verdict => return Ok(verdict),
-            }
-        }
-    }
-
-    /// Probes the collector, returning the `Ack` queue-depth hint.
-    pub fn ping(&mut self) -> Result<Response, CollectorError> {
-        self.round_trip(&Request::Ping)
+        Ok(self.ingest.ingest(nonce, report, self.peer))
     }
 }

@@ -8,6 +8,7 @@
 use std::fmt;
 use std::io;
 
+use prochlo_core::framing::FrameError;
 use prochlo_core::PipelineError;
 
 /// Errors surfaced by the collector service, its protocol codec and client.
@@ -77,6 +78,19 @@ impl From<PipelineError> for CollectorError {
     }
 }
 
+impl From<FrameError> for CollectorError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => CollectorError::Io(e),
+            FrameError::TooLarge { actual, maximum } => {
+                CollectorError::FrameTooLarge { actual, maximum }
+            }
+            FrameError::Closed => CollectorError::ConnectionClosed,
+            FrameError::Protocol(what) => CollectorError::Protocol(what),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +106,22 @@ mod tests {
         let e: CollectorError = PipelineError::MalformedReport("bad tag").into();
         assert!(matches!(e, CollectorError::Pipeline(_)));
         assert!(e.to_string().contains("bad tag"));
+
+        // Frame errors map onto the service-boundary variants one to one.
+        let e: CollectorError = FrameError::Closed.into();
+        assert!(matches!(e, CollectorError::ConnectionClosed));
+        let e: CollectorError = FrameError::TooLarge {
+            actual: 10,
+            maximum: 5,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            CollectorError::FrameTooLarge {
+                actual: 10,
+                maximum: 5
+            }
+        ));
 
         assert!(CollectorError::FrameTooLarge {
             actual: 100,

@@ -25,7 +25,8 @@
 //! * [`dedup`] — the bounded, sharded nonce replay filter.
 //! * [`ingest`] — parse + dedup + enqueue, shared by workers and benches.
 //! * [`service`] — listener/worker/epoch threads and graceful shutdown.
-//! * [`client`] — a minimal blocking client with retry.
+//! * [`client`] — the [`ReportSink`] submission API: a minimal blocking
+//!   TCP client with retry, plus an in-process sink.
 //! * [`error`] — the service-boundary error type.
 
 pub mod client;
@@ -36,10 +37,13 @@ pub mod protocol;
 pub mod queue;
 pub mod service;
 
-pub use client::CollectorClient;
+pub use client::{CollectorClient, InProcessSink, ReportSink};
 pub use dedup::{NonceCheck, ReplayFilter};
 pub use error::CollectorError;
 pub use ingest::{IngestConfig, IngestCore, IngestStats};
 pub use protocol::{Request, Response, NONCE_LEN, PROTOCOL_VERSION};
 pub use queue::{BoundedQueue, PushError};
-pub use service::{Collector, CollectorConfig, CollectorStats, CollectorSummary, EpochResult};
+pub use service::{
+    Collector, CollectorConfig, CollectorStats, CollectorSummary, EpochPipeline, EpochResult,
+    LocalPipeline,
+};

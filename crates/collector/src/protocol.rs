@@ -1,15 +1,18 @@
 //! The collector wire protocol: length-prefixed frames over TCP.
 //!
-//! Every message is a little-endian `u32` frame length followed by that many
-//! body bytes, encoded with the same explicit reader/writer the report
+//! Framing is the shared [`prochlo_core::framing`] code path — a
+//! little-endian `u32` frame length, a protocol version byte, then the
+//! message body, encoded with the same explicit reader/writer the report
 //! formats use ([`prochlo_core::wire`]); there is deliberately no
 //! serialization framework and no self-describing schema. The body starts
-//! with a protocol version byte and a message-type byte:
+//! with a message-type byte:
 //!
 //! ```text
 //! client → collector
-//!   SUBMIT:  [u32 len][u8 version=1][u8 type=1][16-byte nonce][u32+report bytes]
-//!   PING:    [u32 len][u8 version=1][u8 type=2]
+//!   SUBMIT:        [u32 len][u8 version=1][u8 type=1][16-byte nonce][u32+report bytes]
+//!   PING:          [u32 len][u8 version=1][u8 type=2]
+//!   SUBMIT_ROUTED: [u32 len][u8 version=1][u8 type=3][u64 crowd prefix]
+//!                  [16-byte nonce][u32+report bytes]
 //!
 //! collector → client
 //!   ACK:         [u32 len][u8 version=1][u8 code=0][u32 queue depth]
@@ -21,10 +24,17 @@
 //! The nonce is chosen by the client per submission and is the replay-dedup
 //! key; retrying a `RETRY_AFTER` response must reuse the same nonce so a
 //! submission that raced a queue slot is never double-counted.
+//!
+//! `SUBMIT_ROUTED` additionally carries the crowd-routing prefix in the
+//! clear — the first eight bytes of `SHA-256(crowd label)`, exactly what a
+//! hashed crowd ID already exposes to the shuffler — so a shard-router
+//! front-end can pick a collector shard without opening the sealed report.
+//! A collector shard treats it as a plain submit.
 
 use std::io::{Read, Write};
 
-use prochlo_core::wire::{put_bytes, put_u32, put_u8, Reader};
+use prochlo_core::framing::{FramePolicy, FrameRead, FrameWrite};
+use prochlo_core::wire::{put_bytes, put_u32, put_u64, put_u8, Reader};
 
 use crate::error::CollectorError;
 
@@ -33,6 +43,11 @@ pub const PROTOCOL_VERSION: u8 = 1;
 
 /// Length of the client-chosen replay-dedup nonce.
 pub const NONCE_LEN: usize = 16;
+
+/// The collector protocol's framing policy at a given frame-size ceiling.
+pub const fn frame_policy(max_frame_len: usize) -> FramePolicy {
+    FramePolicy::new(PROTOCOL_VERSION, max_frame_len)
+}
 
 /// A client-to-collector message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +61,17 @@ pub enum Request {
     },
     /// Liveness probe; answered with an `Ack` carrying the queue depth.
     Ping,
+    /// Submit one sealed report together with its cleartext crowd-routing
+    /// prefix, for a router front-end that partitions by crowd.
+    SubmitRouted {
+        /// First eight bytes of `SHA-256(crowd label)`, read big-endian —
+        /// see [`prochlo_core::deployment::crowd_prefix`].
+        crowd_prefix: u64,
+        /// Client-chosen replay-dedup nonce (reused across retries).
+        nonce: [u8; NONCE_LEN],
+        /// The serialized outer ciphertext of a client report.
+        report: Vec<u8>,
+    },
 }
 
 /// A collector-to-client message.
@@ -71,10 +97,10 @@ pub enum Response {
 }
 
 impl Request {
-    /// Serializes the message body (without the frame length prefix).
+    /// Serializes the message body (without the frame length prefix or
+    /// version byte — both belong to the framing policy).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        put_u8(&mut out, PROTOCOL_VERSION);
         match self {
             Request::Submit { nonce, report } => {
                 put_u8(&mut out, 1);
@@ -82,6 +108,16 @@ impl Request {
                 put_bytes(&mut out, report);
             }
             Request::Ping => put_u8(&mut out, 2),
+            Request::SubmitRouted {
+                crowd_prefix,
+                nonce,
+                report,
+            } => {
+                put_u8(&mut out, 3);
+                put_u64(&mut out, *crowd_prefix);
+                out.extend_from_slice(nonce);
+                put_bytes(&mut out, report);
+            }
         }
         out
     }
@@ -89,20 +125,23 @@ impl Request {
     /// Parses a message body.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CollectorError> {
         let mut reader = Reader::new(bytes);
-        check_version(&mut reader)?;
         let request = match read_u8(&mut reader)? {
             1 => {
-                let nonce_bytes = reader
-                    .get_array(NONCE_LEN)
-                    .map_err(|_| CollectorError::Protocol("truncated nonce"))?;
-                let mut nonce = [0u8; NONCE_LEN];
-                nonce.copy_from_slice(&nonce_bytes);
-                let report = reader
-                    .get_bytes()
-                    .map_err(|_| CollectorError::Protocol("truncated report"))?;
+                let (nonce, report) = read_submission(&mut reader)?;
                 Request::Submit { nonce, report }
             }
             2 => Request::Ping,
+            3 => {
+                let crowd_prefix = reader
+                    .get_u64()
+                    .map_err(|_| CollectorError::Protocol("truncated crowd prefix"))?;
+                let (nonce, report) = read_submission(&mut reader)?;
+                Request::SubmitRouted {
+                    crowd_prefix,
+                    nonce,
+                    report,
+                }
+            }
             _ => return Err(CollectorError::Protocol("unknown request type")),
         };
         check_exhausted(&reader)?;
@@ -111,10 +150,10 @@ impl Request {
 }
 
 impl Response {
-    /// Serializes the message body (without the frame length prefix).
+    /// Serializes the message body (without the frame length prefix or
+    /// version byte — both belong to the framing policy).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        put_u8(&mut out, PROTOCOL_VERSION);
         match self {
             Response::Ack { pending } => {
                 put_u8(&mut out, 0);
@@ -136,7 +175,6 @@ impl Response {
     /// Parses a message body.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CollectorError> {
         let mut reader = Reader::new(bytes);
-        check_version(&mut reader)?;
         let response = match read_u8(&mut reader)? {
             0 => Response::Ack {
                 pending: read_u32(&mut reader)?,
@@ -160,11 +198,16 @@ impl Response {
     }
 }
 
-fn check_version(reader: &mut Reader<'_>) -> Result<(), CollectorError> {
-    match read_u8(reader)? {
-        PROTOCOL_VERSION => Ok(()),
-        _ => Err(CollectorError::Protocol("unsupported protocol version")),
-    }
+fn read_submission(reader: &mut Reader<'_>) -> Result<([u8; NONCE_LEN], Vec<u8>), CollectorError> {
+    let nonce_bytes = reader
+        .get_array(NONCE_LEN)
+        .map_err(|_| CollectorError::Protocol("truncated nonce"))?;
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce.copy_from_slice(&nonce_bytes);
+    let report = reader
+        .get_bytes()
+        .map_err(|_| CollectorError::Protocol("truncated report"))?;
+    Ok((nonce, report))
 }
 
 fn check_exhausted(reader: &Reader<'_>) -> Result<(), CollectorError> {
@@ -187,43 +230,26 @@ fn read_u32(reader: &mut Reader<'_>) -> Result<u32, CollectorError> {
         .map_err(|_| CollectorError::Protocol("truncated frame"))
 }
 
-/// Writes one length-prefixed frame.
+/// Writes one length-prefixed frame under the collector policy.
 pub fn write_frame(writer: &mut impl Write, body: &[u8]) -> Result<(), CollectorError> {
-    let mut frame = Vec::with_capacity(4 + body.len());
-    put_u32(&mut frame, body.len() as u32);
-    frame.extend_from_slice(body);
-    writer.write_all(&frame)?;
-    writer.flush()?;
-    Ok(())
+    // Writers never truncate their own messages; the size ceiling protects
+    // *readers* from hostile announcements, so writes use the codec-level
+    // maximum a u32 length can express.
+    writer
+        .write_frame(&frame_policy(u32::MAX as usize), body)
+        .map_err(Into::into)
 }
 
-/// Reads one length-prefixed frame body, enforcing `max_len`.
+/// Reads one length-prefixed frame body under the collector policy,
+/// enforcing `max_len`.
 ///
 /// A peer that closes the connection *between* frames yields
 /// [`CollectorError::ConnectionClosed`] (the clean end of a session); one
 /// that closes mid-frame yields an I/O error.
 pub fn read_frame(reader: &mut impl Read, max_len: usize) -> Result<Vec<u8>, CollectorError> {
-    let mut len_bytes = [0u8; 4];
-    match reader.read_exact(&mut len_bytes) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-            return Err(CollectorError::ConnectionClosed)
-        }
-        Err(e) => return Err(e.into()),
-    }
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > max_len {
-        return Err(CollectorError::FrameTooLarge {
-            actual: len,
-            maximum: max_len,
-        });
-    }
-    if len < 2 {
-        return Err(CollectorError::Protocol("frame shorter than header"));
-    }
-    let mut body = vec![0u8; len];
-    reader.read_exact(&mut body)?;
-    Ok(body)
+    reader
+        .read_frame(&frame_policy(max_len))
+        .map_err(Into::into)
 }
 
 #[cfg(test)]
@@ -239,6 +265,11 @@ mod tests {
                 report: vec![1, 2, 3, 4],
             },
             Request::Ping,
+            Request::SubmitRouted {
+                crowd_prefix: 0xdead_beef_0bad_f00d,
+                nonce: [9u8; NONCE_LEN],
+                report: vec![5, 6],
+            },
         ] {
             assert_eq!(Request::from_bytes(&request.to_bytes()).unwrap(), request);
         }
@@ -264,13 +295,22 @@ mod tests {
     #[test]
     fn malformed_bodies_are_rejected() {
         assert!(Request::from_bytes(&[]).is_err());
-        assert!(Request::from_bytes(&[9, 1]).is_err()); // bad version
-        assert!(Request::from_bytes(&[PROTOCOL_VERSION, 9]).is_err()); // bad type
-        assert!(Request::from_bytes(&[PROTOCOL_VERSION, 1, 0]).is_err()); // short nonce
+        assert!(Request::from_bytes(&[9]).is_err()); // bad type
+        assert!(Request::from_bytes(&[1, 0]).is_err()); // short nonce
+        assert!(Request::from_bytes(&[3, 1]).is_err()); // short prefix
         let mut trailing = Request::Ping.to_bytes();
         trailing.push(0);
         assert!(Request::from_bytes(&trailing).is_err());
-        assert!(Response::from_bytes(&[PROTOCOL_VERSION, 9]).is_err());
+        assert!(Response::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn frames_are_byte_compatible_with_the_pre_refactor_layout() {
+        // The version byte moved from the message codec into the framing
+        // policy; the bytes on the wire must not have changed.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping.to_bytes()).unwrap();
+        assert_eq!(wire, [2, 0, 0, 0, PROTOCOL_VERSION, 2]);
     }
 
     #[test]
@@ -291,6 +331,15 @@ mod tests {
         assert!(matches!(
             read_frame(&mut Cursor::new(huge), 1024),
             Err(CollectorError::FrameTooLarge { .. })
+        ));
+        // A frame carrying the wrong version byte is a protocol error.
+        let mut bad = Vec::new();
+        put_u32(&mut bad, 2);
+        bad.push(9);
+        bad.push(2);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bad), 1024),
+            Err(CollectorError::Protocol("unsupported protocol version"))
         ));
         // Truncated body is an I/O error, not a hang or panic.
         let mut cut = wire.clone();

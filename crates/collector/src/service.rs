@@ -29,7 +29,8 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use prochlo_core::{
-    AnalyzerDatabase, Deployment, EngineConfig, EpochSpec, PipelineError, PipelineReport,
+    AnalyzerDatabase, ClientReport, Deployment, EngineConfig, EpochSpec, PipelineError,
+    PipelineReport,
 };
 
 use crate::error::CollectorError;
@@ -90,6 +91,56 @@ impl Default for CollectorConfig {
             seed: 0,
             engine: None,
         }
+    }
+}
+
+/// The processing stage behind the epoch manager: everything that happens
+/// to a canonical batch once it has been cut.
+///
+/// The default is [`LocalPipeline`] — shuffle and analyze in-process via a
+/// [`Deployment`] — but a collector shard in a networked topology plugs in
+/// a pipeline that ships the batch to out-of-process shufflers (see the
+/// fabric crate's `RemoteSplitPipeline`). Implementations receive batches
+/// in arrival order and **must canonicalize** (sort by outer-ciphertext
+/// bytes) before consuming epoch randomness, so identically-seeded runs
+/// replay byte-identically regardless of client scheduling.
+pub trait EpochPipeline: Send {
+    /// Processes one epoch batch under `spec`.
+    fn process(
+        &mut self,
+        spec: &EpochSpec,
+        batch: Vec<ClientReport>,
+    ) -> Result<PipelineReport, PipelineError>;
+}
+
+/// The in-process pipeline: an [`prochlo_core::EpochSession`] per batch —
+/// canonicalize, shuffle, analyze — against an owned [`Deployment`].
+#[derive(Debug)]
+pub struct LocalPipeline {
+    deployment: Deployment,
+}
+
+impl LocalPipeline {
+    /// Wraps a deployment; the epoch manager becomes the only thread to
+    /// touch it.
+    pub fn new(deployment: Deployment) -> Self {
+        Self { deployment }
+    }
+}
+
+impl EpochPipeline for LocalPipeline {
+    fn process(
+        &mut self,
+        spec: &EpochSpec,
+        batch: Vec<ClientReport>,
+    ) -> Result<PipelineReport, PipelineError> {
+        // An epoch session canonicalizes the batch at finish() (ordering by
+        // ciphertext bytes erases arrival order one stage before the
+        // shuffler even sees it, and makes the batch a pure function of its
+        // *contents*).
+        let mut session = self.deployment.session(spec.clone());
+        session.extend(batch);
+        session.finish()
     }
 }
 
@@ -182,6 +233,17 @@ impl Collector {
     /// moves into the epoch manager, which becomes the only thread to touch
     /// it.
     pub fn start(deployment: Deployment, config: CollectorConfig) -> Result<Self, CollectorError> {
+        Self::start_with_pipeline(Box::new(LocalPipeline::new(deployment)), config)
+    }
+
+    /// Like [`Self::start`], but with an explicit [`EpochPipeline`] — the
+    /// seam a collector shard uses to run its epochs through
+    /// out-of-process shufflers while keeping the whole serving layer
+    /// (framing, dedup, backpressure, epoch cutting) unchanged.
+    pub fn start_with_pipeline(
+        pipeline: Box<dyn EpochPipeline>,
+        config: CollectorConfig,
+    ) -> Result<Self, CollectorError> {
         let listener = TcpListener::bind(config.addr)?;
         // Accept by polling rather than blocking: the accept loop re-checks
         // the shutdown flag between polls, so shutdown works for any bind
@@ -238,7 +300,7 @@ impl Collector {
             let config = config.clone();
             std::thread::Builder::new()
                 .name("collector-epoch".to_string())
-                .spawn(move || epoch_loop(deployment, &shared, &config))?
+                .spawn(move || epoch_loop(pipeline, &shared, &config))?
         };
 
         Ok(Self {
@@ -378,6 +440,11 @@ fn serve_connection(
         };
         let response = match Request::from_bytes(&body) {
             Ok(Request::Submit { nonce, report }) => shared.ingest.ingest(&nonce, &report, peer),
+            // Routing already happened by the time a routed submission
+            // reaches a shard; the prefix is purely the router's concern.
+            Ok(Request::SubmitRouted { nonce, report, .. }) => {
+                shared.ingest.ingest(&nonce, &report, peer)
+            }
             Ok(Request::Ping) => Response::Ack {
                 pending: shared.ingest.queue().len() as u32,
             },
@@ -394,7 +461,7 @@ fn serve_connection(
     }
 }
 
-fn epoch_loop(deployment: Deployment, shared: &Shared, config: &CollectorConfig) {
+fn epoch_loop(mut pipeline: Box<dyn EpochPipeline>, shared: &Shared, config: &CollectorConfig) {
     let queue = shared.ingest.queue();
     let mut spec = EpochSpec::new(0, config.seed);
     if let Some(engine) = &config.engine {
@@ -408,15 +475,11 @@ fn epoch_loop(deployment: Deployment, shared: &Shared, config: &CollectorConfig)
             }
             continue;
         }
-        // An epoch session canonicalizes the batch at finish() (ordering by
-        // ciphertext bytes erases arrival order one stage before the
-        // shuffler even sees it, and makes the batch a pure function of its
-        // *contents*), so identically-seeded runs replay identically
+        // The pipeline canonicalizes the batch before consuming epoch
+        // randomness, so identically-seeded runs replay identically
         // regardless of client thread scheduling.
-        let mut session = deployment.session(spec.clone());
-        session.extend(batch);
-        let reports = session.len();
-        let outcome = session.finish();
+        let reports = batch.len();
+        let outcome = pipeline.process(&spec, batch);
         shared
             .reports_processed
             .fetch_add(reports as u64, Ordering::Relaxed);
@@ -436,7 +499,7 @@ fn epoch_loop(deployment: Deployment, shared: &Shared, config: &CollectorConfig)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::CollectorClient;
+    use crate::client::{CollectorClient, ReportSink};
     use crate::protocol::NONCE_LEN;
     use prochlo_core::encoder::CrowdStrategy;
     use prochlo_core::ShufflerConfig;

@@ -52,6 +52,17 @@ pub fn epoch_rng(seed: u64, epoch_index: u64) -> StdRng {
     StdRng::seed_from_u64(exec::mix_seed(seed, epoch_index))
 }
 
+/// The crowd-routing prefix of a label: the first eight bytes of
+/// `SHA-256(label)`, read big-endian — the same hash a hashed crowd ID
+/// already exposes to the shuffler, so routing on it reveals nothing a
+/// report does not. This is what clients put in a `SUBMIT_ROUTED` frame
+/// and what [`ShardedDeployment::shard_index_from_prefix`] reduces to a
+/// shard.
+pub fn crowd_prefix(label: &[u8]) -> u64 {
+    let digest = sha256(label);
+    u64::from_be_bytes(digest[..8].try_into().expect("8-byte prefix"))
+}
+
 /// How many shuffler services stand between the encoders and the analyzer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Topology {
@@ -98,6 +109,13 @@ pub trait ShufflerRole: std::fmt::Debug + Send + Sync {
         reports: &[ClientReport],
         rng: &mut dyn RngCore,
     ) -> Result<ShuffleOutcome, PipelineError>;
+
+    /// Downcast to the split shuffler, for deployments that need to hand
+    /// each stage to a separate process (the networked split topology).
+    /// `None` for every other topology.
+    fn as_split(&self) -> Option<&SplitShuffler> {
+        None
+    }
 }
 
 impl ShufflerRole for Shuffler {
@@ -172,6 +190,10 @@ impl ShufflerRole for SplitShuffler {
             ));
         }
         self.process_batch(reports, rng)
+    }
+
+    fn as_split(&self) -> Option<&SplitShuffler> {
+        Some(self)
     }
 }
 
@@ -646,18 +668,26 @@ impl ShardedDeployment {
         &self.shards[index]
     }
 
-    /// Which of `num_shards` shards a crowd label routes to: the first
-    /// eight bytes of `SHA-256(label)` (read big-endian) reduced modulo the
-    /// shard count, so shard counts far beyond 256 still receive traffic
-    /// and modulo bias is negligible for any practical count.
+    /// Which of `num_shards` shards a crowd label routes to: the
+    /// [`crowd_prefix`] of the label reduced modulo the shard count, so
+    /// shard counts far beyond 256 still receive traffic and modulo bias
+    /// is negligible for any practical count.
     ///
     /// # Panics
     /// Panics if `num_shards` is zero — the same invariant [`Self::build`]
     /// asserts; quietly remapping 0 would misroute every report.
     pub fn shard_index(label: &[u8], num_shards: usize) -> usize {
+        Self::shard_index_from_prefix(crowd_prefix(label), num_shards)
+    }
+
+    /// [`Self::shard_index`] with the routing prefix already computed —
+    /// what a wire front-end uses, since a `SUBMIT_ROUTED` frame carries
+    /// the prefix rather than the label (the router never sees labels).
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero, like [`Self::shard_index`].
+    pub fn shard_index_from_prefix(prefix: u64, num_shards: usize) -> usize {
         assert!(num_shards > 0, "cannot route to zero shards");
-        let digest = sha256(label);
-        let prefix = u64::from_be_bytes(digest[..8].try_into().expect("8-byte prefix"));
         (prefix % num_shards as u64) as usize
     }
 

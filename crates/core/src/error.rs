@@ -29,6 +29,10 @@ pub enum PipelineError {
     },
     /// A configuration value is inconsistent.
     InvalidConfig(&'static str),
+    /// An out-of-process pipeline stage failed: the wire between a
+    /// collector shard and its shufflers broke, or a remote stage returned
+    /// an inconsistent batch. Carries the transport layer's description.
+    Transport(String),
     /// A shuffle-backend name (e.g. from `PROCHLO_SHUFFLE_BACKEND`) did not
     /// match any selectable backend. The display lists the valid names from
     /// [`crate::shuffler::ShuffleBackend::all`] so a typo'd knob fails loudly
@@ -52,6 +56,7 @@ impl std::fmt::Display for PipelineError {
                 write!(f, "payload of {actual} bytes exceeds maximum {maximum}")
             }
             PipelineError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            PipelineError::Transport(what) => write!(f, "transport failure: {what}"),
             PipelineError::UnknownBackend { name } => {
                 let valid: Vec<&str> = crate::shuffler::ShuffleBackend::all()
                     .iter()

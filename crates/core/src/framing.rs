@@ -1,0 +1,251 @@
+//! Shared length-prefixed frame I/O for every TCP protocol in the
+//! workspace.
+//!
+//! The collector protocol and the shard fabric both speak length-prefixed
+//! frames over blocking streams; this module is the single code path for
+//! that framing, so the max-frame-size and version-byte policy live in
+//! exactly one place. A frame is:
+//!
+//! ```text
+//! [u32 le length][u8 version][length-1 body bytes]
+//! ```
+//!
+//! The length counts the version byte plus the body, so the version check
+//! happens at the framing layer — a peer speaking the wrong protocol
+//! version fails before any message parsing runs. Frame bodies are encoded
+//! with the explicit reader/writer in [`crate::wire`]; there is
+//! deliberately no serialization framework.
+
+use std::io::{Read, Write};
+
+/// Errors surfaced by frame I/O.
+///
+/// Protocol crates wrap this in their own error enums (for example
+/// `CollectorError: From<FrameError>`) so the framing layer itself stays
+/// free of service-specific failure modes.
+#[derive(Debug)]
+pub enum FrameError {
+    /// An operating-system I/O operation failed.
+    Io(std::io::Error),
+    /// A peer announced (or a caller tried to write) a frame larger than
+    /// the policy allows.
+    TooLarge {
+        /// Bytes the frame would occupy.
+        actual: usize,
+        /// Maximum frame size the policy permits.
+        maximum: usize,
+    },
+    /// The peer closed the connection at a clean frame boundary.
+    Closed,
+    /// The frame violated the policy (bad version byte, impossible length).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::TooLarge { actual, maximum } => {
+                write!(f, "frame of {actual} bytes exceeds maximum {maximum}")
+            }
+            FrameError::Closed => write!(f, "connection closed by peer"),
+            FrameError::Protocol(what) => write!(f, "framing violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// The framing policy of one protocol: which version byte every frame must
+/// carry and how large a frame a peer may announce.
+///
+/// ```
+/// use prochlo_core::framing::{FramePolicy, FrameRead, FrameWrite};
+///
+/// let policy = FramePolicy::new(1, 1024);
+/// let mut wire = Vec::new();
+/// wire.write_frame(&policy, b"hello").unwrap();
+/// let mut cursor = std::io::Cursor::new(wire);
+/// assert_eq!(cursor.read_frame(&policy).unwrap(), b"hello");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramePolicy {
+    /// Version byte every frame starts with.
+    pub version: u8,
+    /// Maximum total frame length (version byte + body) accepted from a
+    /// peer, and the most a writer will emit.
+    pub max_frame_len: usize,
+}
+
+impl FramePolicy {
+    /// A policy with the given version byte and frame-size ceiling.
+    pub const fn new(version: u8, max_frame_len: usize) -> Self {
+        Self {
+            version,
+            max_frame_len,
+        }
+    }
+
+    /// The same policy with a different frame-size ceiling (e.g. a
+    /// per-connection limit from service configuration).
+    pub const fn with_max_frame_len(self, max_frame_len: usize) -> Self {
+        Self {
+            max_frame_len,
+            ..self
+        }
+    }
+}
+
+/// Writing one policy-checked frame to a byte sink.
+///
+/// Blanket-implemented for every [`std::io::Write`]; protocols call
+/// `writer.write_frame(&policy, body)` instead of hand-rolling the length
+/// prefix.
+pub trait FrameWrite {
+    /// Writes one frame (`[u32 len][version][body]`) and flushes.
+    fn write_frame(&mut self, policy: &FramePolicy, body: &[u8]) -> Result<(), FrameError>;
+}
+
+/// Reading one policy-checked frame from a byte source.
+///
+/// Blanket-implemented for every [`std::io::Read`]. A peer that closes the
+/// connection *between* frames yields [`FrameError::Closed`] (the clean end
+/// of a session); one that closes mid-frame yields an I/O error.
+pub trait FrameRead {
+    /// Reads one frame body (the bytes after the version byte), enforcing
+    /// the policy's size ceiling before allocating and its version byte
+    /// before returning.
+    fn read_frame(&mut self, policy: &FramePolicy) -> Result<Vec<u8>, FrameError>;
+}
+
+impl<W: Write + ?Sized> FrameWrite for W {
+    fn write_frame(&mut self, policy: &FramePolicy, body: &[u8]) -> Result<(), FrameError> {
+        let len = body.len() + 1;
+        if len > policy.max_frame_len || len > u32::MAX as usize {
+            return Err(FrameError::TooLarge {
+                actual: len,
+                maximum: policy.max_frame_len.min(u32::MAX as usize),
+            });
+        }
+        let mut frame = Vec::with_capacity(4 + len);
+        frame.extend_from_slice(&(len as u32).to_le_bytes());
+        frame.push(policy.version);
+        frame.extend_from_slice(body);
+        self.write_all(&frame)?;
+        self.flush()?;
+        Ok(())
+    }
+}
+
+impl<R: Read + ?Sized> FrameRead for R {
+    fn read_frame(&mut self, policy: &FramePolicy) -> Result<Vec<u8>, FrameError> {
+        let mut len_bytes = [0u8; 4];
+        match self.read_exact(&mut len_bytes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Err(FrameError::Closed)
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > policy.max_frame_len {
+            return Err(FrameError::TooLarge {
+                actual: len,
+                maximum: policy.max_frame_len,
+            });
+        }
+        if len < 2 {
+            return Err(FrameError::Protocol("frame shorter than header"));
+        }
+        let mut frame = vec![0u8; len];
+        self.read_exact(&mut frame)?;
+        if frame[0] != policy.version {
+            return Err(FrameError::Protocol("unsupported protocol version"));
+        }
+        frame.remove(0);
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const POLICY: FramePolicy = FramePolicy::new(1, 1024);
+
+    #[test]
+    fn frames_roundtrip_and_preserve_wire_layout() {
+        let mut wire = Vec::new();
+        wire.write_frame(&POLICY, b"body").unwrap();
+        // [u32 len = 5][version = 1]["body"] — byte-compatible with the
+        // pre-refactor collector frames, whose bodies started with the
+        // version byte.
+        assert_eq!(wire, [5, 0, 0, 0, 1, b'b', b'o', b'd', b'y']);
+        let mut cursor = Cursor::new(wire);
+        assert_eq!(cursor.read_frame(&POLICY).unwrap(), b"body");
+        assert!(matches!(
+            cursor.read_frame(&POLICY),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_on_both_sides() {
+        let mut wire = Vec::new();
+        assert!(matches!(
+            wire.write_frame(&POLICY, &[0u8; 1024]),
+            Err(FrameError::TooLarge { .. })
+        ));
+        // An oversized announcement is refused before allocating.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        assert!(matches!(
+            Cursor::new(huge).read_frame(&POLICY),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn short_frames_and_bad_versions_are_protocol_errors() {
+        let mut short = Vec::new();
+        short.extend_from_slice(&1u32.to_le_bytes());
+        short.push(1);
+        assert!(matches!(
+            Cursor::new(short).read_frame(&POLICY),
+            Err(FrameError::Protocol("frame shorter than header"))
+        ));
+        let mut bad_version = Vec::new();
+        bad_version
+            .write_frame(&FramePolicy::new(9, 1024), b"x")
+            .unwrap();
+        assert!(matches!(
+            Cursor::new(bad_version).read_frame(&POLICY),
+            Err(FrameError::Protocol("unsupported protocol version"))
+        ));
+    }
+
+    #[test]
+    fn truncated_bodies_are_io_errors() {
+        let mut wire = Vec::new();
+        wire.write_frame(&POLICY, b"body").unwrap();
+        wire.truncate(wire.len() - 1);
+        assert!(matches!(
+            Cursor::new(wire).read_frame(&POLICY),
+            Err(FrameError::Io(_))
+        ));
+    }
+}

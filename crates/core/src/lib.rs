@@ -35,6 +35,7 @@ pub mod deployment;
 pub mod encoder;
 pub mod error;
 pub mod exec;
+pub mod framing;
 pub mod privacy;
 pub mod record;
 pub mod shuffler;
@@ -42,11 +43,12 @@ pub mod wire;
 
 pub use analyzer::{Analyzer, AnalyzerDatabase};
 pub use deployment::{
-    epoch_rng, Deployment, DeploymentBuilder, EpochSession, EpochSpec, PipelineReport,
-    ShardedDeployment, ShardedReport, ShufflerRole, Topology,
+    crowd_prefix, epoch_rng, Deployment, DeploymentBuilder, EpochSession, EpochSpec,
+    PipelineReport, ShardedDeployment, ShardedReport, ShufflerRole, Topology,
 };
 pub use encoder::{ClientKeys, CrowdStrategy, Encoder};
 pub use error::PipelineError;
+pub use framing::{FrameError, FramePolicy, FrameRead, FrameWrite};
 pub use privacy::{GaussianThresholdPrivacy, PrivacyAccountant, PrivacyGuarantee};
 pub use prochlo_shuffle::engine::{EngineStats, ShuffleEngine};
 pub use prochlo_shuffle::CostReport;

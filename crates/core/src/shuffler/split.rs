@@ -18,8 +18,9 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use prochlo_crypto::edwards::Point;
 use prochlo_crypto::elgamal::{BlindingSecret, ElGamalCiphertext, ElGamalKeypair};
@@ -245,35 +246,79 @@ impl SplitShuffler {
         }
     }
 
+    /// Draws the two per-stage sub-seeds one batch consumes from the
+    /// master stream: Shuffler 1's first, Shuffler 2's second.
+    ///
+    /// Each stage runs on its own `StdRng` seeded from one `u64` — that is
+    /// the whole interface between the batch's master randomness and the
+    /// stages, which is what lets the two shufflers run in separate
+    /// processes (each receives its sub-seed on the wire) while remaining
+    /// byte-identical to the in-process run. A wire driver replaying a
+    /// batch must draw the seeds with exactly this function.
+    pub fn stage_seeds<R: Rng + ?Sized>(rng: &mut R) -> (u64, u64) {
+        let s1_seed = rng.next_u64();
+        let s2_seed = rng.next_u64();
+        (s1_seed, s2_seed)
+    }
+
     /// Runs a batch through both shufflers, returning the shuffled inner
     /// ciphertexts with both a merged batch-level view and the per-stage
     /// statistics of each shuffler (Shuffler 1 first).
+    ///
+    /// Consumes exactly two `u64`s from `rng` (see [`Self::stage_seeds`]);
+    /// everything else each stage does derives from its own sub-seed.
     pub fn process_batch<R: Rng + ?Sized>(
         &self,
         reports: &[ClientReport],
         rng: &mut R,
     ) -> Result<ShuffleOutcome, PipelineError> {
+        let (s1_seed, s2_seed) = Self::stage_seeds(rng);
+        self.process_batch_with_seeds(reports, s1_seed, s2_seed)
+    }
+
+    /// [`Self::process_batch`] with the per-stage sub-seeds already drawn —
+    /// the form a networked deployment uses, where the driver draws the
+    /// seeds and ships one to each shuffler process.
+    pub fn process_batch_with_seeds(
+        &self,
+        reports: &[ClientReport],
+        s1_seed: u64,
+        s2_seed: u64,
+    ) -> Result<ShuffleOutcome, PipelineError> {
+        let mut rng_one = StdRng::seed_from_u64(s1_seed);
         let (blinded, stage_one) =
             self.one
-                .process_batch(reports, self.two.elgamal_public(), rng)?;
-        let (items, stage_two) = self.two.process_batch(blinded, rng)?;
-        // The merged view preserves the pre-redesign contract: batch-level
-        // counts span both stages (received is what entered Shuffler 1,
-        // rejected is what its peel refused), everything else is the
-        // thresholding stage's accounting. Timings combine phase-wise
-        // across the stages.
-        let mut stats = stage_two.clone();
-        stats.rejected = stage_one.rejected;
-        stats.received = reports.len();
-        stats.timings.peel_seconds =
-            stage_one.timings.peel_seconds + stage_two.timings.peel_seconds;
-        stats.timings.shuffle_seconds =
-            stage_one.timings.shuffle_seconds + stage_two.timings.shuffle_seconds;
+                .process_batch(reports, self.two.elgamal_public(), &mut rng_one)?;
+        let mut rng_two = StdRng::seed_from_u64(s2_seed);
+        let (items, stage_two) = self.two.process_batch(blinded, &mut rng_two)?;
+        let stats = Self::merge_stage_stats(reports.len(), &stage_one, &stage_two);
         Ok(ShuffleOutcome {
             items,
             stats,
             stage_stats: vec![stage_one, stage_two],
         })
+    }
+
+    /// The merged batch-level view of a split run, preserving the
+    /// pre-redesign contract: batch-level counts span both stages
+    /// (`received` is what entered Shuffler 1, `rejected` is what its peel
+    /// refused), everything else is the thresholding stage's accounting.
+    /// Timings combine phase-wise across the stages. Public so a wire
+    /// driver that ran the stages remotely can reassemble the identical
+    /// merged view from the per-stage stats it received.
+    pub fn merge_stage_stats(
+        received: usize,
+        stage_one: &ShufflerStats,
+        stage_two: &ShufflerStats,
+    ) -> ShufflerStats {
+        let mut stats = stage_two.clone();
+        stats.rejected = stage_one.rejected;
+        stats.received = received;
+        stats.timings.peel_seconds =
+            stage_one.timings.peel_seconds + stage_two.timings.peel_seconds;
+        stats.timings.shuffle_seconds =
+            stage_one.timings.shuffle_seconds + stage_two.timings.shuffle_seconds;
+        stats
     }
 }
 
@@ -364,6 +409,26 @@ mod tests {
         let outcome = split.process_batch(&reports, &mut rng).unwrap();
         assert_eq!(outcome.stats.rejected, 1);
         assert_eq!(outcome.stage_stats[0].rejected, 1);
+    }
+
+    #[test]
+    fn staged_seeds_reproduce_the_joint_run() {
+        // The process-separability contract: drawing the two sub-seeds and
+        // running the stages on their own RNGs (what the wire topology
+        // does) is byte-identical to the joint in-process run.
+        let mut rng = StdRng::seed_from_u64(7);
+        let (encoder, split, _analyzer) = setup(&mut rng);
+        let reports = blinded_reports(&encoder, b"word", 80, &mut rng);
+        let mut joint_rng = StdRng::seed_from_u64(99);
+        let joint = split.process_batch(&reports, &mut joint_rng).unwrap();
+        let mut seed_rng = StdRng::seed_from_u64(99);
+        let (s1_seed, s2_seed) = SplitShuffler::stage_seeds(&mut seed_rng);
+        let staged = split
+            .process_batch_with_seeds(&reports, s1_seed, s2_seed)
+            .unwrap();
+        assert_eq!(joint.items, staged.items);
+        assert_eq!(joint.stats, staged.stats);
+        assert_eq!(joint.stage_stats, staged.stage_stats);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! `prochlo-fabric`: the networked shard fabric.
+//!
+//! The core crates compute over batches that already sit in one process;
+//! the collector crate runs one ingestion endpoint in front of one
+//! pipeline. This crate is where the deployment becomes *distributed*: N
+//! collector shards behind a prefix-hashing router (Phase A), and the
+//! split shuffler's two stages running as separate processes that talk
+//! over the wire (Phase B) — the actual trust topology of §4.3, where S1
+//! and S2 must not cohabit a process, let alone an address space.
+//!
+//! Everything rides on one small abstraction, [`Transport`]: typed,
+//! ordered message streams addressed by [`ChannelId`] (a peer plus a
+//! stage). Two implementations ship — [`loopback::LoopbackHub`] wires a
+//! whole topology inside one process for deterministic tests, and
+//! [`tcp::TcpTransport`] runs the same protocol code over real sockets.
+//! Protocol logic is written once against `&dyn Transport` and cannot
+//! tell the difference; the end-to-end tests exploit exactly that to
+//! assert the wire topology reproduces the single-process golden output
+//! byte for byte.
+//!
+//! Module map:
+//!
+//! * [`transport`] — the [`Transport`] trait, peer/stage addressing, the
+//!   versioned message envelope, and [`TypedChannel`].
+//! * [`loopback`] — in-process transport for tests and demos.
+//! * [`tcp`] — socket transport: one socket per peer pair, stages
+//!   multiplexed, `HELLO`-frame identification.
+//! * [`messages`] — the typed payloads flowing between driver, shards,
+//!   and shufflers.
+//! * [`split`] — the wire-level split shuffler: stage servers plus the
+//!   [`RemoteSplitPipeline`] that plugs into a collector shard.
+//! * [`router`] — the [`ShardRouter`] ingestion front-end.
+//!
+//! The smallest possible fabric — two endpoints of a [`LoopbackHub`]
+//! exchanging a typed control message (the TCP transport speaks the same
+//! protocol over sockets):
+//!
+//! ```
+//! use prochlo_fabric::{ChannelId, Control, LoopbackHub, Peer, Stage, TypedChannel};
+//!
+//! let hub = LoopbackHub::new();
+//! let driver = hub.endpoint(Peer::Driver);
+//! let shard = hub.endpoint(Peer::Shard(0));
+//!
+//! TypedChannel::<Control>::new(&driver, ChannelId::new(Peer::Shard(0), Stage::Control))
+//!     .send(&Control::Shutdown)?;
+//! let received = TypedChannel::<Control>::new(&shard, ChannelId::new(Peer::Driver, Stage::Control))
+//!     .recv()?;
+//! assert_eq!(received, Control::Shutdown);
+//! # Ok::<(), prochlo_fabric::FabricError>(())
+//! ```
+//!
+//! Determinism contract: a shard's [`RemoteSplitPipeline`] canonicalizes
+//! its batch, derives the epoch RNG from `(seed, epoch_index)`, and splits
+//! it into per-stage sub-seeds exactly like the in-process
+//! `SplitShuffler`; each remote stage reseeds from its sub-seed. Identical
+//! inputs therefore produce identical analyzer databases whether the
+//! stages share a call stack or a network.
+
+#![warn(missing_docs)]
+
+pub mod loopback;
+pub mod messages;
+pub mod router;
+pub mod split;
+pub mod tcp;
+pub mod transport;
+
+pub use loopback::{LoopbackHub, LoopbackTransport};
+pub use messages::{BatchToOne, BatchToTwo, Control, ItemsBatch, ShardSummary, ToOne, ToTwo};
+pub use router::{RouterConfig, RouterStats, ShardRouter, SinkFactory};
+pub use split::{serve_shuffler_one, serve_shuffler_two, sum_epoch_stats, RemoteSplitPipeline};
+pub use tcp::{TcpTransport, TcpTransportBuilder};
+pub use transport::{
+    frame_policy, ChannelId, Envelope, FabricError, Peer, Stage, Transport, TypedChannel,
+    WireMessage, FABRIC_VERSION, MAX_FRAME_LEN,
+};

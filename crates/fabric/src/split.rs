@@ -1,0 +1,362 @@
+//! The split shuffler over the wire (§4.3 as separate processes).
+//!
+//! Three pieces:
+//!
+//! * [`serve_shuffler_one`] — Shuffler 1's service loop: receive canonical
+//!   batches from each shard, peel + blind + shuffle, forward blinded
+//!   records to Shuffler 2.
+//! * [`serve_shuffler_two`] — Shuffler 2's service loop: unblind to
+//!   handles, threshold, shuffle, send surviving inner ciphertexts back to
+//!   the owning shard.
+//! * [`RemoteSplitPipeline`] — the collector-shard side: an
+//!   [`EpochPipeline`] that ships each epoch batch to the shufflers
+//!   instead of processing it in-process, then analyzes the returned
+//!   items. Plugs into [`prochlo_collector::Collector::start_with_pipeline`].
+//!
+//! **Determinism contract.** The shard canonicalizes the batch (sorting by
+//! outer-ciphertext bytes, exactly as [`prochlo_core::EpochSession::finish`]
+//! does), derives the epoch RNG from `(seed, epoch_index)` and draws the two
+//! per-stage sub-seeds with [`SplitShuffler::stage_seeds`] — the same draws,
+//! in the same order, as the in-process split topology. Each shuffler stage
+//! then runs on `StdRng::seed_from_u64(sub_seed)` via
+//! [`SplitShuffler::process_batch_with_seeds`]'s per-stage halves, so a
+//! seeded multi-process run reproduces the single-process golden output
+//! byte for byte. The integration suite pins this against the committed
+//! fixture.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use prochlo_collector::EpochPipeline;
+use prochlo_core::shuffler::split::{ShufflerOne, ShufflerTwo, SplitShuffler};
+use prochlo_core::shuffler::ShufflerStats;
+use prochlo_core::{
+    epoch_rng, exec, Analyzer, ClientReport, EpochSpec, PipelineError, PipelineReport,
+    TransportMetadata,
+};
+use prochlo_crypto::edwards::Point;
+use prochlo_crypto::hybrid::HybridCiphertext;
+
+use crate::messages::{BatchToTwo, ItemsBatch, ToOne, ToTwo};
+use crate::transport::{ChannelId, FabricError, Peer, Stage, Transport, TypedChannel};
+
+/// Shuffler 1's service loop: serves every shard's batch stream, in shard
+/// order, until each sends its in-band done marker; then releases
+/// Shuffler 2 with [`ToTwo::Done`].
+///
+/// Shards are served **sequentially in shard order**. Batches a later shard
+/// sends early simply wait in its socket (or loopback inbox) — nothing is
+/// dropped — and the driver shuts shards down in the same order, so the
+/// done markers arrive in the order this loop awaits them.
+pub fn serve_shuffler_one(
+    transport: &dyn Transport,
+    one: &ShufflerOne,
+    elgamal_public: &Point,
+    num_shards: u16,
+) -> Result<(), FabricError> {
+    for shard in 0..num_shards {
+        let from_shard =
+            TypedChannel::<ToOne>::new(transport, ChannelId::new(Peer::Shard(shard), Stage::Batch));
+        loop {
+            let batch = match from_shard.recv()? {
+                ToOne::Done => break,
+                ToOne::Batch(batch) => batch,
+            };
+            if batch.shard != shard {
+                return Err(FabricError::Malformed("batch tagged with wrong shard"));
+            }
+            let reports: Vec<ClientReport> = batch
+                .reports
+                .iter()
+                .enumerate()
+                .map(|(index, outer)| {
+                    // The shard serialized real reports; a parse failure
+                    // here is corruption, not client garbage (that was
+                    // already screened at ingest).
+                    let outer = HybridCiphertext::from_bytes(outer)
+                        .map_err(|_| FabricError::Malformed("invalid outer ciphertext"))?;
+                    Ok(ClientReport {
+                        outer,
+                        // Stand-in metadata: the real metadata was stripped
+                        // at the collector and never crosses the fabric.
+                        metadata: TransportMetadata::synthetic(index as u64),
+                    })
+                })
+                .collect::<Result<_, FabricError>>()?;
+            let mut rng = StdRng::seed_from_u64(batch.s1_seed);
+            let (records, stage_one) = one
+                .process_batch(&reports, elgamal_public, &mut rng)
+                .map_err(|e| FabricError::Processing(e.to_string()))?;
+            let forward = BatchToTwo {
+                shard,
+                epoch_index: batch.epoch_index,
+                s2_seed: batch.s2_seed,
+                received: reports.len(),
+                stage_one,
+                records: records
+                    .into_iter()
+                    .map(|r| (r.blinded_crowd.to_bytes(), r.inner))
+                    .collect(),
+            };
+            TypedChannel::<ToTwo>::new(
+                transport,
+                ChannelId::new(Peer::ShufflerTwo, Stage::Records),
+            )
+            .send(&ToTwo::Batch(Box::new(forward)))?;
+        }
+    }
+    TypedChannel::<ToTwo>::new(transport, ChannelId::new(Peer::ShufflerTwo, Stage::Records))
+        .send(&ToTwo::Done)
+}
+
+/// Shuffler 2's service loop: consumes Shuffler 1's record stream until its
+/// done marker, answering each batch's owning shard with the surviving
+/// items.
+pub fn serve_shuffler_two(transport: &dyn Transport, two: &ShufflerTwo) -> Result<(), FabricError> {
+    let from_one =
+        TypedChannel::<ToTwo>::new(transport, ChannelId::new(Peer::ShufflerOne, Stage::Records));
+    loop {
+        let batch = match from_one.recv()? {
+            ToTwo::Done => return Ok(()),
+            ToTwo::Batch(batch) => batch,
+        };
+        let records = batch.decode_records()?;
+        let mut rng = StdRng::seed_from_u64(batch.s2_seed);
+        let (items, stage_two) = two
+            .process_batch(records, &mut rng)
+            .map_err(|e| FabricError::Processing(e.to_string()))?;
+        let answer = ItemsBatch {
+            shard: batch.shard,
+            epoch_index: batch.epoch_index,
+            received: batch.received,
+            stage_one: batch.stage_one,
+            stage_two,
+            items,
+        };
+        TypedChannel::<ItemsBatch>::new(
+            transport,
+            ChannelId::new(Peer::Shard(batch.shard), Stage::Items),
+        )
+        .send(&answer)?;
+    }
+}
+
+/// The collector-shard half of the wire topology: an [`EpochPipeline`]
+/// that ships each canonical batch to the out-of-process shufflers over a
+/// [`Transport`], then ingests the returned items with the shard's own
+/// analyzer.
+///
+/// The collector's serving layer (framing, dedup, backpressure, epoch
+/// cutting) is untouched — this type replaces only what happens to a batch
+/// once it is cut.
+pub struct RemoteSplitPipeline {
+    transport: Arc<dyn Transport>,
+    shard: u16,
+    analyzer: Analyzer,
+}
+
+impl RemoteSplitPipeline {
+    /// A pipeline for shard `shard`, analyzing with `analyzer` (a clone of
+    /// the shard deployment's analyzer, so keys match the encoders).
+    pub fn new(transport: Arc<dyn Transport>, shard: u16, analyzer: Analyzer) -> Self {
+        Self {
+            transport,
+            shard,
+            analyzer,
+        }
+    }
+
+    /// Tells Shuffler 1 this shard has no more batches. Call after the
+    /// collector has shut down (no epoch can be cut afterwards).
+    pub fn finish(&self) -> Result<(), FabricError> {
+        TypedChannel::<ToOne>::new(
+            self.transport.as_ref(),
+            ChannelId::new(Peer::ShufflerOne, Stage::Batch),
+        )
+        .send(&ToOne::Done)
+    }
+}
+
+impl EpochPipeline for RemoteSplitPipeline {
+    fn process(
+        &mut self,
+        spec: &EpochSpec,
+        mut batch: Vec<ClientReport>,
+    ) -> Result<PipelineReport, PipelineError> {
+        // The split topology shuffles inline in both stages; reject engine
+        // overrides the in-process topology would also reject, instead of
+        // silently ignoring them (same contract as SplitShuffler::process).
+        if let Some(engine) = &spec.engine {
+            if !matches!(engine.backend, prochlo_core::ShuffleBackend::Trusted) {
+                return Err(PipelineError::InvalidConfig(
+                    "the split topology shuffles inline and does not support \
+                     enclave shuffle engines yet; use ShuffleBackend::Trusted \
+                     or the single topology",
+                ));
+            }
+        }
+        // Canonicalize exactly as EpochSession::finish does, then draw the
+        // per-stage sub-seeds the way the in-process split topology would:
+        // the epoch RNG's first two u64s.
+        batch.sort_by_cached_key(|report| report.outer.to_bytes());
+        let mut rng = epoch_rng(spec.seed, spec.epoch_index);
+        let (s1_seed, s2_seed) = SplitShuffler::stage_seeds(&mut rng);
+
+        let to_one = ToOne::Batch(crate::messages::BatchToOne {
+            shard: self.shard,
+            epoch_index: spec.epoch_index,
+            s1_seed,
+            s2_seed,
+            reports: batch.iter().map(|r| r.outer.to_bytes()).collect(),
+        });
+        TypedChannel::<ToOne>::new(
+            self.transport.as_ref(),
+            ChannelId::new(Peer::ShufflerOne, Stage::Batch),
+        )
+        .send(&to_one)?;
+
+        let items = TypedChannel::<ItemsBatch>::new(
+            self.transport.as_ref(),
+            ChannelId::new(Peer::ShufflerTwo, Stage::Items),
+        )
+        .recv()?;
+        if items.shard != self.shard || items.epoch_index != spec.epoch_index {
+            return Err(PipelineError::Transport(format!(
+                "items for shard {} epoch {} answered shard {} epoch {}",
+                items.shard, items.epoch_index, self.shard, spec.epoch_index
+            )));
+        }
+
+        let num_threads =
+            exec::resolve_threads(spec.engine.as_ref().map_or(0, |engine| engine.num_threads))?;
+        let database = self
+            .analyzer
+            .ingest_items_parallel(&items.items, num_threads)?;
+        let stats =
+            SplitShuffler::merge_stage_stats(items.received, &items.stage_one, &items.stage_two);
+        Ok(PipelineReport {
+            database,
+            shuffler_stats: stats,
+            stage_stats: vec![items.stage_one, items.stage_two],
+        })
+    }
+}
+
+/// Sums batch-level shuffler statistics across a shard's epochs — what a
+/// shard folds into its [`crate::messages::ShardSummary`] when it cut more
+/// than one epoch. Counters add; timings add; the backend must agree.
+pub fn sum_epoch_stats(epochs: &[ShufflerStats]) -> ShufflerStats {
+    let mut total = ShufflerStats {
+        backend: epochs.first().map_or("inline", |s| s.backend),
+        ..ShufflerStats::default()
+    };
+    for stats in epochs {
+        total.received += stats.received;
+        total.forwarded += stats.forwarded;
+        total.dropped_noise += stats.dropped_noise;
+        total.dropped_threshold += stats.dropped_threshold;
+        total.rejected += stats.rejected;
+        total.crowds_seen += stats.crowds_seen;
+        total.crowds_forwarded += stats.crowds_forwarded;
+        total.shuffle_attempts += stats.shuffle_attempts;
+        total.timings.peel_seconds += stats.timings.peel_seconds;
+        total.timings.threshold_seconds += stats.timings.threshold_seconds;
+        total.timings.shuffle_seconds += stats.timings.shuffle_seconds;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::LoopbackHub;
+    use prochlo_core::encoder::CrowdStrategy;
+    use prochlo_core::{Deployment, Topology};
+
+    /// One shard's epoch over loopback must match the in-process split run
+    /// byte for byte (items order included — it is seeded).
+    #[test]
+    fn loopback_epoch_matches_in_process_split_run() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let deployment = Deployment::builder()
+            .shuffler(Topology::Split)
+            .payload_size(32)
+            .build(&mut rng);
+        let encoder = deployment.encoder();
+        let mut reports: Vec<ClientReport> = (0..90u64)
+            .map(|i| {
+                encoder
+                    .encode_plain(b"the", CrowdStrategy::Blind(b"the"), i, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        reports.extend((0..4u64).map(|i| {
+            encoder
+                .encode_plain(b"rare", CrowdStrategy::Blind(b"rare"), 900 + i, &mut rng)
+                .unwrap()
+        }));
+        let spec = EpochSpec::new(2, 0xfab);
+
+        // In-process reference via the session (canonicalize + ingest).
+        let mut session = deployment.session(spec.clone());
+        session.extend(reports.clone());
+        let reference = session.finish().unwrap();
+
+        // Wire run over loopback.
+        let split = deployment.role().as_split().expect("split topology");
+        let one = split.one.clone();
+        let elgamal = *split.two.elgamal_public();
+        let hub = LoopbackHub::new();
+        let s1_transport = hub.endpoint(Peer::ShufflerOne);
+        let s2_transport = hub.endpoint(Peer::ShufflerTwo);
+        let shard_transport: Arc<dyn Transport> = Arc::new(hub.endpoint(Peer::Shard(0)));
+
+        std::thread::scope(|scope| {
+            let s1 =
+                scope.spawn(move || serve_shuffler_one(&s1_transport, &one, &elgamal, 1).unwrap());
+            let s2 = scope.spawn(|| {
+                serve_shuffler_two(&s2_transport, &deployment.role().as_split().unwrap().two)
+                    .unwrap()
+            });
+            let mut pipeline = RemoteSplitPipeline::new(
+                Arc::clone(&shard_transport),
+                0,
+                deployment.analyzer().clone(),
+            );
+            let remote = pipeline.process(&spec, reports).unwrap();
+            pipeline.finish().unwrap();
+            s1.join().unwrap();
+            s2.join().unwrap();
+
+            assert_eq!(
+                remote.database.canonical_histogram_bytes(),
+                reference.database.canonical_histogram_bytes()
+            );
+            assert_eq!(remote.database.rows(), reference.database.rows());
+            assert_eq!(remote.shuffler_stats, reference.shuffler_stats);
+            assert_eq!(remote.stage_stats, reference.stage_stats);
+        });
+    }
+
+    #[test]
+    fn sum_epoch_stats_adds_counters() {
+        let a = ShufflerStats {
+            received: 5,
+            forwarded: 4,
+            backend: "inline",
+            ..ShufflerStats::default()
+        };
+        let b = ShufflerStats {
+            received: 7,
+            forwarded: 6,
+            backend: "inline",
+            ..ShufflerStats::default()
+        };
+        let total = sum_epoch_stats(&[a, b]);
+        assert_eq!(total.received, 12);
+        assert_eq!(total.forwarded, 10);
+        assert_eq!(total.backend, "inline");
+    }
+}

@@ -1,0 +1,332 @@
+//! TCP transport: one socket per peer pair, stages multiplexed over it.
+//!
+//! Connection establishment is explicit and happens before the transport
+//! is handed to protocol code: the process that *listens* calls
+//! [`TcpTransportBuilder::listen`] + [`TcpTransportBuilder::accept`], the
+//! process that *dials* calls [`TcpTransportBuilder::connect`]. The dialer
+//! introduces itself with a `HELLO` frame carrying its [`Peer`] encoding,
+//! so the acceptor learns who is on the socket without guessing from
+//! addresses.
+//!
+//! Each link demultiplexes incoming frames into per-stage inboxes: a
+//! receiver blocked on [`Stage::Items`] will buffer an interleaved
+//! [`Stage::Control`] frame rather than drop it. Sequence numbers are
+//! checked per `(peer, stage)` stream exactly as in the loopback
+//! transport.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use parking_lot::{Condvar, Mutex};
+use prochlo_core::framing::{FrameRead, FrameWrite};
+use prochlo_core::wire::Reader;
+
+use crate::transport::{frame_policy, ChannelId, Envelope, FabricError, Peer, Stage, Transport};
+
+struct LinkInbox {
+    /// Buffered payloads per incoming stage.
+    stages: BTreeMap<Stage, VecDeque<Vec<u8>>>,
+    /// Next expected sequence number per incoming stage.
+    recv_seq: BTreeMap<Stage, u64>,
+    /// Set when the socket dies so every waiter fails instead of hanging.
+    /// `None` in the string means the link closed cleanly.
+    failed: Option<Option<String>>,
+}
+
+/// One established socket to a peer.
+struct Link {
+    peer: Peer,
+    writer: Mutex<(BufWriter<TcpStream>, BTreeMap<Stage, u64>)>,
+    reader: Mutex<BufReader<TcpStream>>,
+    inbox: Mutex<LinkInbox>,
+    arrived: Condvar,
+}
+
+impl Link {
+    fn new(peer: Peer, stream: TcpStream) -> Result<Self, FabricError> {
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| FabricError::Frame(e.into()))?;
+        Ok(Self {
+            peer,
+            writer: Mutex::new((BufWriter::new(stream), BTreeMap::new())),
+            reader: Mutex::new(BufReader::new(read_half)),
+            inbox: Mutex::new(LinkInbox {
+                stages: BTreeMap::new(),
+                recv_seq: BTreeMap::new(),
+                failed: None,
+            }),
+            arrived: Condvar::new(),
+        })
+    }
+
+    fn send(&self, from: Peer, stage: Stage, payload: &[u8]) -> Result<(), FabricError> {
+        let mut guard = self.writer.lock();
+        let (writer, send_seq) = &mut *guard;
+        let seq = send_seq.entry(stage).or_insert(0);
+        let envelope = Envelope {
+            from,
+            stage,
+            seq: *seq,
+            payload: payload.to_vec(),
+        };
+        *seq += 1;
+        writer.write_frame(&frame_policy(), &envelope.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads one frame off the socket and files it in the inbox. Returns
+    /// the stage it arrived on.
+    fn pump_one(&self, reader: &mut BufReader<TcpStream>) -> Result<Stage, FabricError> {
+        let body = reader.read_frame(&frame_policy())?;
+        let envelope = Envelope::from_bytes(&body)?;
+        if envelope.from != self.peer {
+            return Err(FabricError::WrongPeer {
+                expected: self.peer,
+                actual: envelope.from,
+            });
+        }
+        let mut inbox = self.inbox.lock();
+        let expected = inbox.recv_seq.entry(envelope.stage).or_insert(0);
+        if envelope.seq != *expected {
+            return Err(FabricError::OutOfOrder {
+                channel: ChannelId::new(envelope.from, envelope.stage),
+                expected: *expected,
+                actual: envelope.seq,
+            });
+        }
+        *expected += 1;
+        inbox
+            .stages
+            .entry(envelope.stage)
+            .or_default()
+            .push_back(envelope.payload);
+        drop(inbox);
+        self.arrived.notify_all();
+        Ok(envelope.stage)
+    }
+
+    fn recv(&self, stage: Stage) -> Result<Vec<u8>, FabricError> {
+        loop {
+            {
+                let mut inbox = self.inbox.lock();
+                if let Some(payload) = inbox.stages.get_mut(&stage).and_then(VecDeque::pop_front) {
+                    return Ok(payload);
+                }
+                if let Some(failure) = &inbox.failed {
+                    return Err(match failure {
+                        None => FabricError::Closed,
+                        Some(what) => FabricError::LinkFailed(what.clone()),
+                    });
+                }
+            }
+            // Exactly one thread pumps the socket at a time; the rest wait
+            // on the inbox condvar for it to file frames.
+            if let Some(mut reader) = self.reader.try_lock() {
+                match self.pump_one(&mut reader) {
+                    Ok(_) => continue,
+                    Err(e) => {
+                        // Record the failure for later waiters. I/O errors
+                        // are not Clone, so they keep only the description.
+                        let mut inbox = self.inbox.lock();
+                        inbox.failed = Some(match &e {
+                            FabricError::Closed => None,
+                            other => Some(other.to_string()),
+                        });
+                        drop(inbox);
+                        self.arrived.notify_all();
+                        return Err(e);
+                    }
+                }
+            }
+            let mut inbox = self.inbox.lock();
+            if inbox.stages.get(&stage).is_some_and(|q| !q.is_empty()) || inbox.failed.is_some() {
+                continue;
+            }
+            self.arrived.wait(&mut inbox);
+        }
+    }
+}
+
+/// Builds a [`TcpTransport`] by listening and dialing before protocol
+/// traffic starts.
+pub struct TcpTransportBuilder {
+    identity: Peer,
+    listener: Option<TcpListener>,
+    links: Vec<Link>,
+}
+
+impl TcpTransportBuilder {
+    /// A builder for a process whose fabric identity is `identity`.
+    pub fn new(identity: Peer) -> Self {
+        Self {
+            identity,
+            listener: None,
+            links: Vec::new(),
+        }
+    }
+
+    /// Binds a listening socket (use port 0 for an OS-assigned port) and
+    /// returns the bound address to advertise to dialing peers.
+    pub fn listen(&mut self, addr: SocketAddr) -> Result<SocketAddr, FabricError> {
+        let listener = TcpListener::bind(addr).map_err(|e| FabricError::Frame(e.into()))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| FabricError::Frame(e.into()))?;
+        self.listener = Some(listener);
+        Ok(local)
+    }
+
+    /// Accepts `count` inbound links. Each dialer introduces itself with a
+    /// `HELLO` frame; the link is filed under that identity.
+    pub fn accept(&mut self, count: usize) -> Result<Vec<Peer>, FabricError> {
+        let listener = self
+            .listener
+            .as_ref()
+            .ok_or(FabricError::Malformed("accept before listen"))?;
+        let mut accepted = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (stream, _) = listener
+                .accept()
+                .map_err(|e| FabricError::Frame(e.into()))?;
+            stream
+                .set_nodelay(true)
+                .map_err(|e| FabricError::Frame(e.into()))?;
+            // Read the HELLO off the raw stream: a BufReader here could
+            // read ahead into frames that belong to the link's own reader
+            // and silently drop them with the temporary buffer.
+            let mut raw = &stream;
+            let hello = raw.read_frame(&frame_policy())?;
+            let mut cursor = Reader::new(&hello);
+            let peer = Peer::decode(&mut cursor)?;
+            if !cursor.is_empty() {
+                return Err(FabricError::Malformed("trailing bytes in hello frame"));
+            }
+            accepted.push(peer);
+            self.links.push(Link::new(peer, stream)?);
+        }
+        Ok(accepted)
+    }
+
+    /// Dials `peer` at `addr` and introduces this process with a `HELLO`
+    /// frame carrying its identity.
+    pub fn connect(&mut self, peer: Peer, addr: SocketAddr) -> Result<(), FabricError> {
+        let stream = TcpStream::connect(addr).map_err(|e| FabricError::Frame(e.into()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| FabricError::Frame(e.into()))?;
+        let mut hello = Vec::new();
+        self.identity.encode(&mut hello);
+        let mut writer = &stream;
+        writer.write_frame(&frame_policy(), &hello)?;
+        self.links.push(Link::new(peer, stream)?);
+        Ok(())
+    }
+
+    /// Finalizes the builder into an immutable transport.
+    pub fn build(self) -> TcpTransport {
+        TcpTransport {
+            identity: self.identity,
+            links: self.links,
+        }
+    }
+}
+
+/// The TCP implementation of [`Transport`].
+pub struct TcpTransport {
+    identity: Peer,
+    links: Vec<Link>,
+}
+
+impl TcpTransport {
+    fn link(&self, peer: Peer) -> Result<&Link, FabricError> {
+        self.links
+            .iter()
+            .find(|l| l.peer == peer)
+            .ok_or(FabricError::NotConnected(peer))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn identity(&self) -> Peer {
+        self.identity
+    }
+
+    fn send(&self, to: Peer, stage: Stage, payload: &[u8]) -> Result<(), FabricError> {
+        self.link(to)?.send(self.identity, stage, payload)
+    }
+
+    fn recv(&self, channel: ChannelId) -> Result<Vec<u8>, FabricError> {
+        self.link(channel.peer)?.recv(channel.stage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loop_addr() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[test]
+    fn hello_identifies_the_dialer_and_stages_multiplex() {
+        let mut acceptor = TcpTransportBuilder::new(Peer::ShufflerTwo);
+        let addr = acceptor.listen(loop_addr()).unwrap();
+        let dialer = std::thread::spawn(move || {
+            let mut b = TcpTransportBuilder::new(Peer::ShufflerOne);
+            b.connect(Peer::ShufflerTwo, addr).unwrap();
+            let t = b.build();
+            t.send(Peer::ShufflerTwo, Stage::Records, b"recs").unwrap();
+            t.send(Peer::ShufflerTwo, Stage::Control, b"done").unwrap();
+            // Wait for the ack so the socket stays open until the peer reads.
+            let ack = t
+                .recv(ChannelId::new(Peer::ShufflerTwo, Stage::Control))
+                .unwrap();
+            assert_eq!(ack, b"ack");
+        });
+        assert_eq!(acceptor.accept(1).unwrap(), vec![Peer::ShufflerOne]);
+        let t = acceptor.build();
+        // Read control before records: the records frame is buffered.
+        assert_eq!(
+            t.recv(ChannelId::new(Peer::ShufflerOne, Stage::Control))
+                .unwrap(),
+            b"done"
+        );
+        assert_eq!(
+            t.recv(ChannelId::new(Peer::ShufflerOne, Stage::Records))
+                .unwrap(),
+            b"recs"
+        );
+        t.send(Peer::ShufflerOne, Stage::Control, b"ack").unwrap();
+        dialer.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_peer_is_not_connected() {
+        let t = TcpTransportBuilder::new(Peer::Driver).build();
+        assert!(matches!(
+            t.send(Peer::Router, Stage::Control, b"x"),
+            Err(FabricError::NotConnected(Peer::Router))
+        ));
+    }
+
+    #[test]
+    fn closed_socket_surfaces_as_closed() {
+        let mut acceptor = TcpTransportBuilder::new(Peer::Driver);
+        let addr = acceptor.listen(loop_addr()).unwrap();
+        let dialer = std::thread::spawn(move || {
+            let mut b = TcpTransportBuilder::new(Peer::Shard(0));
+            b.connect(Peer::Driver, addr).unwrap();
+            drop(b.build()); // hang up immediately
+        });
+        acceptor.accept(1).unwrap();
+        dialer.join().unwrap();
+        let t = acceptor.build();
+        assert!(matches!(
+            t.recv(ChannelId::new(Peer::Shard(0), Stage::Control)),
+            Err(FabricError::Closed)
+        ));
+    }
+}

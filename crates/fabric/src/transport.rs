@@ -1,0 +1,502 @@
+//! The transport abstraction: peers, stages, channels and envelopes.
+//!
+//! Every conversation in the fabric is addressed by a [`ChannelId`] — a
+//! `(peer, stage)` pair, following the typed per-peer channel shape of MPC
+//! helper fabrics: `peer` names *who* is at the other end, `stage` names
+//! *which* step of the protocol the bytes belong to. A [`Transport`] moves
+//! opaque payloads over those channels, blocking and in order; everything
+//! above it (the router, the wire-level split shuffler) is transport
+//! agnostic, which is how the loopback tests drive the exact code the TCP
+//! deployment runs.
+//!
+//! On the wire each payload travels inside an [`Envelope`] carrying the
+//! *sender's* channel (its identity plus the stage) and a per-channel
+//! sequence number, framed by the shared [`prochlo_core::framing`] code
+//! path.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use prochlo_core::framing::{FrameError, FramePolicy};
+use prochlo_core::wire::{put_bytes, put_u32, put_u64, put_u8, Reader};
+
+/// Version byte of every fabric frame. Distinct from the collector
+/// protocol's version so a fabric peer dialed into a collector port (or
+/// vice versa) fails loudly at the framing layer instead of desynchronizing.
+pub const FABRIC_VERSION: u8 = 2;
+
+/// Default ceiling for one fabric frame. Fabric frames carry whole epoch
+/// batches, so the ceiling is far above the collector's per-report limit.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// The fabric framing policy at the default frame-size ceiling.
+pub const fn frame_policy() -> FramePolicy {
+    FramePolicy::new(FABRIC_VERSION, MAX_FRAME_LEN)
+}
+
+/// A process in the fabric topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Peer {
+    /// The orchestrating driver (merges shard summaries).
+    Driver,
+    /// The submission router in front of the collector shards.
+    Router,
+    /// Shuffler 1 of the split topology (peels and blinds).
+    ShufflerOne,
+    /// Shuffler 2 of the split topology (unblinds handles, thresholds).
+    ShufflerTwo,
+    /// Collector shard `i`.
+    Shard(u16),
+}
+
+impl fmt::Display for Peer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Peer::Driver => write!(f, "driver"),
+            Peer::Router => write!(f, "router"),
+            Peer::ShufflerOne => write!(f, "shuffler-1"),
+            Peer::ShufflerTwo => write!(f, "shuffler-2"),
+            Peer::Shard(i) => write!(f, "shard-{i}"),
+        }
+    }
+}
+
+impl Peer {
+    /// Appends the wire encoding: a tag byte plus the shard index.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let (tag, index) = match self {
+            Peer::Driver => (0u8, 0u16),
+            Peer::Router => (1, 0),
+            Peer::ShufflerOne => (2, 0),
+            Peer::ShufflerTwo => (3, 0),
+            Peer::Shard(i) => (4, *i),
+        };
+        put_u8(out, tag);
+        put_u32(out, u32::from(index));
+    }
+
+    /// Decodes one peer, rejecting unknown tags loudly.
+    pub fn decode(reader: &mut Reader<'_>) -> Result<Self, FabricError> {
+        let tag = reader
+            .get_u8()
+            .map_err(|_| FabricError::Malformed("truncated peer"))?;
+        let index = reader
+            .get_u32()
+            .map_err(|_| FabricError::Malformed("truncated peer index"))?;
+        let peer = match tag {
+            0 => Peer::Driver,
+            1 => Peer::Router,
+            2 => Peer::ShufflerOne,
+            3 => Peer::ShufflerTwo,
+            4 => {
+                let index = u16::try_from(index)
+                    .map_err(|_| FabricError::Malformed("shard index out of range"))?;
+                Peer::Shard(index)
+            }
+            _ => return Err(FabricError::UnknownChannel { what: "peer", tag }),
+        };
+        if !matches!(peer, Peer::Shard(_)) && index != 0 {
+            return Err(FabricError::Malformed("non-shard peer with index"));
+        }
+        Ok(peer)
+    }
+}
+
+/// A protocol step multiplexed over one peer link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Lifecycle coordination (shutdown, done markers).
+    Control,
+    /// Canonicalized epoch batches: shard → Shuffler 1.
+    Batch,
+    /// Blinded records: Shuffler 1 → Shuffler 2.
+    Records,
+    /// Surviving inner ciphertexts: Shuffler 2 → shard.
+    Items,
+    /// Per-shard epoch accounting: shard → driver.
+    Summary,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Stage::Control => "control",
+            Stage::Batch => "batch",
+            Stage::Records => "records",
+            Stage::Items => "items",
+            Stage::Summary => "summary",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl Stage {
+    /// Appends the wire encoding (one tag byte).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let tag = match self {
+            Stage::Control => 0u8,
+            Stage::Batch => 1,
+            Stage::Records => 2,
+            Stage::Items => 3,
+            Stage::Summary => 4,
+        };
+        put_u8(out, tag);
+    }
+
+    /// Decodes one stage, rejecting unknown tags loudly.
+    pub fn decode(reader: &mut Reader<'_>) -> Result<Self, FabricError> {
+        let tag = reader
+            .get_u8()
+            .map_err(|_| FabricError::Malformed("truncated stage"))?;
+        match tag {
+            0 => Ok(Stage::Control),
+            1 => Ok(Stage::Batch),
+            2 => Ok(Stage::Records),
+            3 => Ok(Stage::Items),
+            4 => Ok(Stage::Summary),
+            _ => Err(FabricError::UnknownChannel { what: "stage", tag }),
+        }
+    }
+}
+
+/// One typed message stream: a protocol stage spoken with one peer.
+///
+/// From a receiver's point of view `peer` is the *sender* at the far end;
+/// from a sender's point of view it is the destination. Either way the
+/// pair addresses the same ordered stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChannelId {
+    /// The process at the other end of the stream.
+    pub peer: Peer,
+    /// The protocol step the stream carries.
+    pub stage: Stage,
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.peer, self.stage)
+    }
+}
+
+impl ChannelId {
+    /// A channel to (or from) `peer` on `stage`.
+    pub const fn new(peer: Peer, stage: Stage) -> Self {
+        Self { peer, stage }
+    }
+}
+
+/// What travels inside one fabric frame: the sender's channel, a
+/// per-channel sequence number, and the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The *sender's* identity plus the stage — the receiver files the
+    /// payload under this channel.
+    pub from: Peer,
+    /// The protocol step.
+    pub stage: Stage,
+    /// Position in the `(from, stage)` stream, starting at 0. Receivers
+    /// verify it is exactly the next expected value, so a dropped or
+    /// reordered frame is an error, not silent corruption.
+    pub seq: u64,
+    /// The opaque message bytes (a [`crate::messages`] encoding).
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Serializes the envelope (the body of one fabric frame).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 24);
+        self.from.encode(&mut out);
+        self.stage.encode(&mut out);
+        put_u64(&mut out, self.seq);
+        put_bytes(&mut out, &self.payload);
+        out
+    }
+
+    /// Parses one envelope, rejecting unknown channels and trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FabricError> {
+        let mut reader = Reader::new(bytes);
+        let from = Peer::decode(&mut reader)?;
+        let stage = Stage::decode(&mut reader)?;
+        let seq = reader
+            .get_u64()
+            .map_err(|_| FabricError::Malformed("truncated sequence number"))?;
+        let payload = reader
+            .get_bytes()
+            .map_err(|_| FabricError::Malformed("truncated payload"))?;
+        if !reader.is_empty() {
+            return Err(FabricError::Malformed("trailing envelope bytes"));
+        }
+        Ok(Self {
+            from,
+            stage,
+            seq,
+            payload,
+        })
+    }
+}
+
+/// Errors surfaced by the fabric transport layer.
+#[derive(Debug)]
+pub enum FabricError {
+    /// Frame I/O failed (wraps the shared framing error).
+    Frame(FrameError),
+    /// An envelope or message failed to parse.
+    Malformed(&'static str),
+    /// An envelope named a peer or stage tag this build does not know —
+    /// rejected loudly instead of skipped, because a silent skip would
+    /// desynchronize every later sequence number.
+    UnknownChannel {
+        /// Which component carried the tag (`"peer"` or `"stage"`).
+        what: &'static str,
+        /// The unknown tag byte.
+        tag: u8,
+    },
+    /// A frame arrived out of order on a channel.
+    OutOfOrder {
+        /// The channel the frame arrived on.
+        channel: ChannelId,
+        /// The sequence number expected next.
+        expected: u64,
+        /// The sequence number the frame carried.
+        actual: u64,
+    },
+    /// A frame arrived from a peer other than the link's.
+    WrongPeer {
+        /// The peer the link was established with.
+        expected: Peer,
+        /// The peer the envelope claimed.
+        actual: Peer,
+    },
+    /// The transport has no link to the named peer.
+    NotConnected(Peer),
+    /// The link already failed on another thread; carries the original
+    /// failure's description.
+    LinkFailed(String),
+    /// A pipeline stage failed while serving the fabric (the error is the
+    /// stage's own, not the transport's — it still tears the service down,
+    /// since a skipped batch would desynchronize the topology).
+    Processing(String),
+    /// The peer (or hub) closed while a receive was pending.
+    Closed,
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Frame(e) => write!(f, "frame error: {e}"),
+            FabricError::Malformed(what) => write!(f, "malformed fabric message: {what}"),
+            FabricError::UnknownChannel { what, tag } => {
+                write!(f, "unknown {what} tag {tag} in channel id")
+            }
+            FabricError::OutOfOrder {
+                channel,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "channel {channel} out of order: expected seq {expected}, got {actual}"
+            ),
+            FabricError::WrongPeer { expected, actual } => {
+                write!(f, "frame from {actual} on a link to {expected}")
+            }
+            FabricError::NotConnected(peer) => write!(f, "no link to peer {peer}"),
+            FabricError::LinkFailed(what) => write!(f, "link already failed: {what}"),
+            FabricError::Processing(what) => write!(f, "stage failed: {what}"),
+            FabricError::Closed => write!(f, "fabric connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FabricError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for FabricError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Closed => FabricError::Closed,
+            other => FabricError::Frame(other),
+        }
+    }
+}
+
+impl From<FabricError> for prochlo_core::PipelineError {
+    fn from(e: FabricError) -> Self {
+        prochlo_core::PipelineError::Transport(e.to_string())
+    }
+}
+
+/// A blocking, ordered, channel-addressed message transport.
+///
+/// Implementations: [`crate::loopback::LoopbackTransport`] (in-process, for
+/// tests) and [`crate::tcp::TcpTransport`] (the deployment transport).
+/// Both deliver each `(peer, stage)` stream in send order and verify
+/// sequence numbers, so the code above them cannot tell which one it runs
+/// on — that equivalence is what the loopback determinism tests certify.
+pub trait Transport: Send + Sync {
+    /// This process's identity in the topology.
+    fn identity(&self) -> Peer;
+
+    /// Sends one payload to `to` on `stage`. Blocking; returns once the
+    /// payload is handed to the OS (TCP) or the hub (loopback).
+    fn send(&self, to: Peer, stage: Stage, payload: &[u8]) -> Result<(), FabricError>;
+
+    /// Receives the next payload on `channel`, blocking until one arrives.
+    /// Payloads on other channels of the same link are buffered, not lost.
+    fn recv(&self, channel: ChannelId) -> Result<Vec<u8>, FabricError>;
+}
+
+/// A message type that can travel the fabric.
+pub trait WireMessage: Sized {
+    /// Serializes the message payload.
+    fn to_wire(&self) -> Vec<u8>;
+    /// Parses a message payload.
+    fn from_wire(bytes: &[u8]) -> Result<Self, FabricError>;
+}
+
+/// A typed view of one channel: `send`/`recv` whole messages instead of
+/// byte payloads.
+///
+/// ```
+/// use prochlo_fabric::loopback::LoopbackHub;
+/// use prochlo_fabric::messages::Control;
+/// use prochlo_fabric::transport::{ChannelId, Peer, Stage, TypedChannel};
+///
+/// let hub = LoopbackHub::new();
+/// let driver = hub.endpoint(Peer::Driver);
+/// let shard = hub.endpoint(Peer::Shard(0));
+/// // The driver tells shard 0 to shut down; the shard reads the typed
+/// // control stream coming *from* the driver.
+/// TypedChannel::<Control>::new(&driver, ChannelId::new(Peer::Shard(0), Stage::Control))
+///     .send(&Control::Shutdown)
+///     .unwrap();
+/// let channel =
+///     TypedChannel::<Control>::new(&shard, ChannelId::new(Peer::Driver, Stage::Control));
+/// assert_eq!(channel.recv().unwrap(), Control::Shutdown);
+/// ```
+pub struct TypedChannel<'t, T> {
+    transport: &'t dyn Transport,
+    id: ChannelId,
+    _message: PhantomData<fn() -> T>,
+}
+
+impl<'t, T: WireMessage> TypedChannel<'t, T> {
+    /// A typed channel to (or from) `id.peer` on `id.stage`.
+    pub fn new(transport: &'t dyn Transport, id: ChannelId) -> Self {
+        Self {
+            transport,
+            id,
+            _message: PhantomData,
+        }
+    }
+
+    /// The channel this view wraps.
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// Sends one typed message to the channel's peer.
+    pub fn send(&self, message: &T) -> Result<(), FabricError> {
+        self.transport
+            .send(self.id.peer, self.id.stage, &message.to_wire())
+    }
+
+    /// Receives the next typed message from the channel's peer.
+    pub fn recv(&self) -> Result<T, FabricError> {
+        T::from_wire(&self.transport.recv(self.id)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_peers() -> Vec<Peer> {
+        vec![
+            Peer::Driver,
+            Peer::Router,
+            Peer::ShufflerOne,
+            Peer::ShufflerTwo,
+            Peer::Shard(0),
+            Peer::Shard(513),
+        ]
+    }
+
+    #[test]
+    fn envelopes_roundtrip_for_every_channel() {
+        for peer in all_peers() {
+            for stage in [
+                Stage::Control,
+                Stage::Batch,
+                Stage::Records,
+                Stage::Items,
+                Stage::Summary,
+            ] {
+                let envelope = Envelope {
+                    from: peer,
+                    stage,
+                    seq: 7,
+                    payload: vec![1, 2, 3],
+                };
+                assert_eq!(
+                    Envelope::from_bytes(&envelope.to_bytes()).unwrap(),
+                    envelope
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected_loudly() {
+        let envelope = Envelope {
+            from: Peer::Shard(3),
+            stage: Stage::Batch,
+            seq: 0,
+            payload: vec![],
+        };
+        let mut bytes = envelope.to_bytes();
+        bytes[0] = 200; // peer tag
+        assert!(matches!(
+            Envelope::from_bytes(&bytes),
+            Err(FabricError::UnknownChannel {
+                what: "peer",
+                tag: 200
+            })
+        ));
+        let mut bytes = envelope.to_bytes();
+        bytes[5] = 99; // stage tag
+        assert!(matches!(
+            Envelope::from_bytes(&bytes),
+            Err(FabricError::UnknownChannel {
+                what: "stage",
+                tag: 99
+            })
+        ));
+    }
+
+    #[test]
+    fn truncations_and_trailing_bytes_are_malformed() {
+        let envelope = Envelope {
+            from: Peer::Driver,
+            stage: Stage::Summary,
+            seq: 3,
+            payload: vec![9; 10],
+        };
+        let bytes = envelope.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Envelope::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(matches!(
+            Envelope::from_bytes(&trailing),
+            Err(FabricError::Malformed("trailing envelope bytes"))
+        ));
+    }
+}

@@ -7,7 +7,7 @@
 use std::thread;
 
 use prochlo_collector::{
-    Collector, CollectorClient, CollectorConfig, CollectorSummary, Response, NONCE_LEN,
+    Collector, CollectorClient, CollectorConfig, CollectorSummary, ReportSink, Response, NONCE_LEN,
 };
 use prochlo_core::encoder::CrowdStrategy;
 use prochlo_core::{AnalyzerDatabase, Deployment, Encoder, PipelineReport, ShufflerConfig};

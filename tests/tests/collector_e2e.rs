@@ -4,7 +4,9 @@
 
 use std::time::Duration;
 
-use prochlo_collector::{Collector, CollectorClient, CollectorConfig, Response, NONCE_LEN};
+use prochlo_collector::{
+    Collector, CollectorClient, CollectorConfig, ReportSink, Response, NONCE_LEN,
+};
 use prochlo_core::encoder::CrowdStrategy;
 use prochlo_core::{Deployment, ShufflerConfig};
 use prochlo_examples::{run_backpressure_demo, run_live_ingest};

@@ -1,0 +1,239 @@
+//! Property tests for the fabric wire layer: envelopes and typed messages
+//! round-trip exactly, and no malformed, truncated or misaddressed input
+//! ever panics. The fabric's receive path faces whatever the other end of
+//! a socket sends, so — exactly as for `prochlo_core::wire` — "worst case
+//! is an error" is a hard requirement.
+
+use prochlo_core::shuffler::{PhaseTimings, ShufflerStats};
+use prochlo_fabric::transport::WireMessage;
+use prochlo_fabric::{
+    BatchToOne, BatchToTwo, Control, Envelope, FabricError, ItemsBatch, Peer, ShardSummary, Stage,
+    ToOne, ToTwo,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+const STAGES: [Stage; 5] = [
+    Stage::Control,
+    Stage::Batch,
+    Stage::Records,
+    Stage::Items,
+    Stage::Summary,
+];
+
+fn arb_peer(selector: u8, shard: u16) -> Peer {
+    match selector % 5 {
+        0 => Peer::Driver,
+        1 => Peer::Router,
+        2 => Peer::ShufflerOne,
+        3 => Peer::ShufflerTwo,
+        _ => Peer::Shard(shard),
+    }
+}
+
+fn stats(seed: u64, backend: &'static str) -> ShufflerStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ShufflerStats {
+        received: rng.gen_range(0..1000),
+        forwarded: rng.gen_range(0..1000),
+        dropped_noise: rng.gen_range(0..100),
+        dropped_threshold: rng.gen_range(0..100),
+        rejected: rng.gen_range(0..100),
+        crowds_seen: rng.gen_range(0..50),
+        crowds_forwarded: rng.gen_range(0..50),
+        shuffle_attempts: rng.gen_range(0..4),
+        backend,
+        timings: PhaseTimings {
+            peel_seconds: rng.gen::<f64>(),
+            threshold_seconds: rng.gen::<f64>(),
+            shuffle_seconds: rng.gen::<f64>(),
+        },
+    }
+}
+
+fn bytes_from_seed(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+fn blobs(seed: u64, count: usize, max_len: usize) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let len = rng.gen_range(0..=max_len);
+            let mut blob = vec![0u8; len];
+            rng.fill_bytes(&mut blob);
+            blob
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prop_envelopes_roundtrip(
+        selector in any::<u8>(),
+        shard in any::<u16>(),
+        stage_idx in 0usize..5,
+        seq in any::<u64>(),
+        payload_seed in any::<u64>(),
+        payload_len in 0usize..256,
+    ) {
+        let envelope = Envelope {
+            from: arb_peer(selector, shard),
+            stage: STAGES[stage_idx],
+            seq,
+            payload: bytes_from_seed(payload_seed, payload_len),
+        };
+        prop_assert_eq!(Envelope::from_bytes(&envelope.to_bytes()).unwrap(), envelope);
+    }
+
+    #[test]
+    fn prop_random_bytes_never_panic_any_parser(seed in any::<u64>(), len in 0usize..512) {
+        // Every parser must fail cleanly (or succeed) on arbitrary input;
+        // a panic here is a remote denial of service.
+        let bytes = bytes_from_seed(seed, len);
+        let _ = Envelope::from_bytes(&bytes);
+        let _ = Control::from_wire(&bytes);
+        let _ = BatchToOne::from_wire(&bytes);
+        let _ = BatchToTwo::from_wire(&bytes);
+        let _ = ItemsBatch::from_wire(&bytes);
+        let _ = ShardSummary::from_wire(&bytes);
+        let _ = ToOne::from_wire(&bytes);
+        let _ = ToTwo::from_wire(&bytes);
+    }
+
+    #[test]
+    fn prop_envelope_truncations_always_error(
+        selector in any::<u8>(),
+        shard in any::<u16>(),
+        stage_idx in 0usize..5,
+        seq in any::<u64>(),
+        payload_seed in any::<u64>(),
+        payload_len in 1usize..64,
+    ) {
+        let bytes = Envelope {
+            from: arb_peer(selector, shard),
+            stage: STAGES[stage_idx],
+            seq,
+            payload: bytes_from_seed(payload_seed, payload_len),
+        }
+        .to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(Envelope::from_bytes(&bytes[..cut]).is_err(), "cut {}", cut);
+        }
+        // One trailing byte is as fatal as one missing byte.
+        let mut extended = bytes;
+        extended.push(0);
+        prop_assert!(Envelope::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn prop_unknown_channels_are_rejected_loudly(
+        peer_tag in 5u8..=255,
+        stage_tag in 5u8..=255,
+        seq in any::<u64>(),
+    ) {
+        // A frame addressed from an unknown peer tag must name the tag in
+        // the error, not be skipped or misfiled.
+        let good = Envelope {
+            from: Peer::Driver,
+            stage: Stage::Control,
+            seq,
+            payload: vec![1, 2, 3],
+        }
+        .to_bytes();
+        let mut bad_peer = good.clone();
+        bad_peer[0] = peer_tag;
+        prop_assert!(matches!(
+            Envelope::from_bytes(&bad_peer),
+            Err(FabricError::UnknownChannel { what: "peer", tag }) if tag == peer_tag
+        ));
+        let mut bad_stage = good;
+        bad_stage[5] = stage_tag;
+        prop_assert!(matches!(
+            Envelope::from_bytes(&bad_stage),
+            Err(FabricError::UnknownChannel { what: "stage", tag }) if tag == stage_tag
+        ));
+    }
+
+    #[test]
+    fn prop_typed_messages_roundtrip(seed in any::<u64>(), count in 0usize..12) {
+        let batch = BatchToOne {
+            shard: (seed % 7) as u16,
+            epoch_index: seed,
+            s1_seed: seed.wrapping_mul(3),
+            s2_seed: seed.wrapping_mul(5),
+            reports: blobs(seed, count, 96),
+        };
+        prop_assert_eq!(BatchToOne::from_wire(&batch.to_wire()).unwrap(), batch.clone());
+        prop_assert_eq!(
+            ToOne::from_wire(&ToOne::Batch(batch.clone()).to_wire()).unwrap(),
+            ToOne::Batch(batch)
+        );
+
+        let to_two = BatchToTwo {
+            shard: (seed % 7) as u16,
+            epoch_index: seed,
+            s2_seed: seed.wrapping_mul(5),
+            received: count,
+            stage_one: stats(seed, "blind"),
+            records: blobs(seed ^ 1, count, 64)
+                .into_iter()
+                .map(|inner| ([(seed % 251) as u8; 64], inner))
+                .collect(),
+        };
+        let parsed = BatchToTwo::from_wire(&to_two.to_wire()).unwrap();
+        prop_assert_eq!(&parsed, &to_two);
+        // ShufflerStats equality ignores timings; pin them bit-for-bit.
+        prop_assert_eq!(
+            parsed.stage_one.timings.peel_seconds.to_bits(),
+            to_two.stage_one.timings.peel_seconds.to_bits()
+        );
+
+        let items = ItemsBatch {
+            shard: (seed % 7) as u16,
+            epoch_index: seed,
+            received: count,
+            stage_one: stats(seed, "blind"),
+            stage_two: stats(seed ^ 2, "inline"),
+            items: blobs(seed ^ 3, count, 48),
+        };
+        prop_assert_eq!(ItemsBatch::from_wire(&items.to_wire()).unwrap(), items);
+
+        let summary = ShardSummary {
+            shard: (seed % 7) as u16,
+            epoch_index: seed,
+            rows: blobs(seed ^ 4, count, 32),
+            undecryptable: count,
+            pending_secret_groups: count / 2,
+            pending_secret_reports: count / 3,
+            recovered_secrets: count / 4,
+            stats: stats(seed ^ 5, "inline"),
+        };
+        prop_assert_eq!(ShardSummary::from_wire(&summary.to_wire()).unwrap(), summary);
+    }
+
+    #[test]
+    fn prop_typed_message_truncations_always_error(seed in any::<u64>(), count in 1usize..6) {
+        let bytes = BatchToTwo {
+            shard: 1,
+            epoch_index: seed,
+            s2_seed: seed,
+            received: count,
+            stage_one: stats(seed, "blind"),
+            records: blobs(seed, count, 40)
+                .into_iter()
+                .map(|inner| ([9u8; 64], inner))
+                .collect(),
+        }
+        .to_wire();
+        for cut in 0..bytes.len() {
+            prop_assert!(BatchToTwo::from_wire(&bytes[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+}

@@ -4,7 +4,9 @@
 
 use std::time::Duration;
 
-use prochlo_collector::{Collector, CollectorClient, CollectorConfig, Response, NONCE_LEN};
+use prochlo_collector::{
+    Collector, CollectorClient, CollectorConfig, ReportSink, Response, NONCE_LEN,
+};
 use prochlo_core::encoder::CrowdStrategy;
 use prochlo_core::{
     Deployment, EngineConfig, EpochSpec, ShuffleBackend, ShufflerConfig, ShufflerStats,
