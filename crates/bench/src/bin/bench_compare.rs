@@ -1,29 +1,61 @@
 //! Compares bench output against the committed baseline and emits GitHub
-//! workflow-command annotations for regressions.
+//! workflow-command annotations for regressions *and* improvements.
 //!
-//! Usage: `bench_compare BENCH_baseline.json bench-out/*.txt`
+//! Usage: `bench_compare [--floor F] [--ceiling C] BENCH_baseline.json bench-out/*.txt`
 //!
 //! Each harness prints `BENCHJSON {"bench":...,"metric":...,"value":...}`
 //! lines (see `prochlo_bench::emit_metric`); this tool greps them back out
 //! of the teed output files and compares every metric present in the
-//! baseline. All metrics are throughputs, so only a *drop* is a
-//! regression. CI runners vary wildly between nights, so the bar is
-//! deliberately loose — a metric must fall below half its baseline to
-//! warn — and the tool always exits 0: annotations, not failures, are the
-//! interface (`::warning::` lines surface on the workflow summary).
+//! baseline. All metrics are throughputs: a drop below `--floor` (default
+//! 0.5) × baseline is a regression, a rise above `--ceiling` (default
+//! 1.5) × baseline is an improvement worth re-baselining. CI runners vary
+//! wildly between nights, so the default band is deliberately loose —
+//! and the tool always exits 0: annotations, not failures, are the
+//! interface (`::warning::` / `::notice::` lines surface on the workflow
+//! summary).
 
 use std::process::ExitCode;
 
-use prochlo_bench::{parse_baseline, parse_metric_line};
+use prochlo_bench::{
+    compare_metrics, parse_baseline, parse_metric_line, Verdict, DEFAULT_IMPROVEMENT_CEILING,
+    DEFAULT_REGRESSION_FLOOR,
+};
 
-/// A metric below this fraction of its baseline is annotated.
-const REGRESSION_FLOOR: f64 = 0.5;
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_compare [--floor F] [--ceiling C] <baseline.json> <bench-output.txt>..."
+    );
+    ExitCode::from(2)
+}
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let [baseline_path, output_paths @ ..] = args.as_slice() else {
-        eprintln!("usage: bench_compare <baseline.json> <bench-output.txt>...");
-        return ExitCode::from(2);
+    let mut floor = DEFAULT_REGRESSION_FLOOR;
+    let mut ceiling = DEFAULT_IMPROVEMENT_CEILING;
+    let mut paths: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let threshold = |name: &str, value: Option<String>| -> Option<f64> {
+            let parsed = value.as_deref().and_then(|v| v.parse::<f64>().ok());
+            if parsed.is_none() {
+                eprintln!("error: {name} takes a number, got {value:?}");
+            }
+            parsed.filter(|t| *t > 0.0)
+        };
+        match arg.as_str() {
+            "--floor" => match threshold("--floor", args.next()) {
+                Some(t) => floor = t,
+                None => return usage(),
+            },
+            "--ceiling" => match threshold("--ceiling", args.next()) {
+                Some(t) => ceiling = t,
+                None => return usage(),
+            },
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, output_paths @ ..] = paths.as_slice() else {
+        return usage();
     };
     let baseline_text = match std::fs::read_to_string(baseline_path) {
         Ok(text) => text,
@@ -53,25 +85,45 @@ fn main() -> ExitCode {
         measured.extend(text.lines().filter_map(parse_metric_line));
     }
 
+    let comparisons = compare_metrics(&baseline, &measured, floor, ceiling);
     let mut regressions = 0usize;
-    for (key, expected) in &baseline {
-        let Some((_, actual)) = measured.iter().find(|(k, _)| k == key) else {
-            println!("::warning::bench_compare: baseline metric {key} was not measured this run");
+    let mut improvements = 0usize;
+    for c in &comparisons {
+        let (Some(actual), Some(ratio)) = (c.measured, c.ratio) else {
+            println!(
+                "::warning::bench_compare: baseline metric {} was not measured this run",
+                c.key
+            );
             continue;
         };
-        let ratio = actual / expected;
-        let verdict = if ratio < REGRESSION_FLOOR {
-            regressions += 1;
-            println!(
-                "::warning::bench regression: {key} at {actual:.0} is {:.0}% of \
-                 the {expected:.0} baseline",
-                ratio * 100.0
-            );
-            "REGRESSED"
-        } else {
-            "ok"
+        let verdict = match c.verdict {
+            Verdict::Regressed => {
+                regressions += 1;
+                println!(
+                    "::warning::bench regression: {} at {actual:.0} is {:.0}% of \
+                     the {:.0} baseline",
+                    c.key,
+                    ratio * 100.0,
+                    c.baseline
+                );
+                "REGRESSED"
+            }
+            Verdict::Improved => {
+                improvements += 1;
+                println!(
+                    "::notice::bench improvement: {} at {actual:.0} is {ratio:.1}x \
+                     the {:.0} baseline — consider re-baselining",
+                    c.key, c.baseline
+                );
+                "IMPROVED"
+            }
+            Verdict::Ok => "ok",
+            Verdict::Missing => unreachable!("missing metrics were reported above"),
         };
-        println!("{key}: {actual:.0} vs baseline {expected:.0} ({ratio:.2}x) {verdict}");
+        println!(
+            "{}: {actual:.0} vs baseline {:.0} ({ratio:.2}x) {verdict}",
+            c.key, c.baseline
+        );
     }
     for (key, value) in &measured {
         if !baseline.iter().any(|(k, _)| k == key) {
@@ -79,9 +131,11 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "bench_compare: {} baseline metrics, {} regressions",
+        "bench_compare: {} baseline metrics, {} regressions, {} improvements \
+         (floor {floor}, ceiling {ceiling})",
         baseline.len(),
-        regressions
+        regressions,
+        improvements
     );
     ExitCode::SUCCESS
 }

@@ -110,6 +110,75 @@ pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Default fraction of baseline below which a throughput metric counts
+/// as a regression (CI runners vary wildly night to night, so the bar
+/// is deliberately loose).
+pub const DEFAULT_REGRESSION_FLOOR: f64 = 0.5;
+
+/// Default multiple of baseline above which a throughput metric counts
+/// as an improvement worth surfacing (time to re-baseline).
+pub const DEFAULT_IMPROVEMENT_CEILING: f64 = 1.5;
+
+/// Outcome of comparing one measured metric against its baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Measured below `floor ×` baseline.
+    Regressed,
+    /// Measured above `ceiling ×` baseline.
+    Improved,
+    /// Within the [floor, ceiling] band.
+    Ok,
+    /// Present in the baseline but not measured this run.
+    Missing,
+}
+
+/// One baseline metric's comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The `bench/metric` key.
+    pub key: String,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The value measured this run, if any.
+    pub measured: Option<f64>,
+    /// measured / baseline, if measured.
+    pub ratio: Option<f64>,
+    /// How this metric fared.
+    pub verdict: Verdict,
+}
+
+/// Compares every baseline metric against this run's measurements. All
+/// metrics are throughputs (higher is better): below `floor ×` baseline
+/// is [`Verdict::Regressed`], above `ceiling ×` baseline is
+/// [`Verdict::Improved`]. Results come back in baseline order.
+pub fn compare_metrics(
+    baseline: &[(String, f64)],
+    measured: &[(String, f64)],
+    floor: f64,
+    ceiling: f64,
+) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .map(|(key, expected)| {
+            let found = measured.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+            let ratio = found.map(|actual| actual / expected);
+            let verdict = match ratio {
+                None => Verdict::Missing,
+                Some(r) if r < floor => Verdict::Regressed,
+                Some(r) if r > ceiling => Verdict::Improved,
+                Some(_) => Verdict::Ok,
+            };
+            Comparison {
+                key: key.clone(),
+                baseline: *expected,
+                measured: found,
+                ratio,
+                verdict,
+            }
+        })
+        .collect()
+}
+
 /// Formats a number of records compactly (10M, 50K, ...).
 pub fn fmt_records(n: usize) -> String {
     if n >= 1_000_000 && n.is_multiple_of(1_000_000) {
@@ -158,6 +227,48 @@ mod tests {
         );
         assert_eq!(parse_metric_line("collector: 42 reports"), None);
         assert_eq!(parse_metric_line("BENCHJSON {not json"), None);
+    }
+
+    #[test]
+    fn compare_flags_regressions_below_the_floor() {
+        let baseline = vec![("b/m".to_string(), 100.0)];
+        let measured = vec![("b/m".to_string(), 40.0)];
+        let out = compare_metrics(
+            &baseline,
+            &measured,
+            DEFAULT_REGRESSION_FLOOR,
+            DEFAULT_IMPROVEMENT_CEILING,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].verdict, Verdict::Regressed);
+        assert_eq!(out[0].measured, Some(40.0));
+        assert!((out[0].ratio.unwrap() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_flags_improvements_above_the_ceiling() {
+        let baseline = vec![("b/m".to_string(), 100.0)];
+        let measured = vec![("b/m".to_string(), 180.0)];
+        let out = compare_metrics(
+            &baseline,
+            &measured,
+            DEFAULT_REGRESSION_FLOOR,
+            DEFAULT_IMPROVEMENT_CEILING,
+        );
+        assert_eq!(out[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn compare_respects_custom_thresholds_and_missing_metrics() {
+        let baseline = vec![("b/m".to_string(), 100.0), ("b/gone".to_string(), 5.0)];
+        let measured = vec![("b/m".to_string(), 75.0)];
+        // With a tight 0.8 floor, 75% of baseline regresses; with the
+        // default 0.5 floor it would not.
+        let tight = compare_metrics(&baseline, &measured, 0.8, 4.0);
+        assert_eq!(tight[0].verdict, Verdict::Regressed);
+        assert_eq!(tight[1].verdict, Verdict::Missing);
+        let loose = compare_metrics(&baseline, &measured, 0.5, 1.5);
+        assert_eq!(loose[0].verdict, Verdict::Ok);
     }
 
     #[test]

@@ -115,6 +115,16 @@ impl CollectorClient {
     pub fn ping(&mut self) -> Result<Response, CollectorError> {
         self.round_trip(&Request::Ping)
     }
+
+    /// Fetches the collector's live telemetry snapshot: sorted
+    /// `(metric name, value)` pairs, exactly what
+    /// [`prochlo_obs::Snapshot::flat`] produced on the server.
+    pub fn stats(&mut self) -> Result<Vec<(String, f64)>, CollectorError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats { entries } => Ok(entries),
+            _ => Err(CollectorError::Protocol("unexpected response to STATS")),
+        }
+    }
 }
 
 impl ReportSink for CollectorClient {

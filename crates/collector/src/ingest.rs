@@ -7,11 +7,13 @@
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use prochlo_core::record::TransportMetadata;
 use prochlo_core::ClientReport;
 use prochlo_crypto::hybrid::HybridCiphertext;
+use prochlo_obs::{Counter, Gauge, Registry};
 
 use crate::dedup::{NonceCheck, ReplayFilter};
 use crate::protocol::{Response, NONCE_LEN};
@@ -65,6 +67,39 @@ struct StatsCells {
     peak_queue_depth: AtomicUsize,
 }
 
+/// Cached obs handles mirroring [`StatsCells`] onto the registry
+/// (`collector.ingest.*` counters, the `collector.queue.depth` gauge, and
+/// the `collector.ingest.submit` latency histogram via a per-call span).
+struct ObsHandles {
+    registry: Arc<Registry>,
+    accepted: Counter,
+    duplicates: Counter,
+    backpressured: Counter,
+    rejected: Counter,
+    queue_depth: Gauge,
+}
+
+impl std::fmt::Debug for ObsHandles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsHandles")
+            .field("registry", &self.registry)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ObsHandles {
+    fn new(registry: Arc<Registry>) -> Self {
+        ObsHandles {
+            accepted: registry.counter("collector.ingest.accepted"),
+            duplicates: registry.counter("collector.ingest.duplicates"),
+            backpressured: registry.counter("collector.ingest.backpressured"),
+            rejected: registry.counter("collector.ingest.rejected"),
+            queue_depth: registry.gauge("collector.queue.depth"),
+            registry,
+        }
+    }
+}
+
 /// Parse + dedup + enqueue, shared by every protocol worker.
 #[derive(Debug)]
 pub struct IngestCore {
@@ -73,18 +108,33 @@ pub struct IngestCore {
     config: IngestConfig,
     arrival: AtomicU64,
     stats: StatsCells,
+    obs: ObsHandles,
 }
 
 impl IngestCore {
-    /// Creates the core with its bounded queue and replay filter.
+    /// Creates the core with its bounded queue and replay filter,
+    /// reporting telemetry through the global obs registry.
     pub fn new(config: IngestConfig) -> Self {
+        Self::with_registry(config, Arc::clone(prochlo_obs::global()))
+    }
+
+    /// Like [`Self::new`], but reporting into an explicit registry —
+    /// what tests use to assert exact counts without cross-suite
+    /// contamination of the process-wide registry.
+    pub fn with_registry(config: IngestConfig, registry: Arc<Registry>) -> Self {
         Self {
             queue: BoundedQueue::new(config.queue_capacity),
             dedup: ReplayFilter::new(config.dedup_capacity),
             arrival: AtomicU64::new(0),
             stats: StatsCells::default(),
+            obs: ObsHandles::new(registry),
             config,
         }
+    }
+
+    /// The registry this core reports into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.obs.registry
     }
 
     /// The report queue the epoch manager drains.
@@ -105,8 +155,16 @@ impl IngestCore {
     /// `Duplicate`; a retry racing an in-flight first attempt answers
     /// `RetryAfter`, never a false "already queued".
     pub fn ingest(&self, nonce: &[u8; NONCE_LEN], report: &[u8], peer: SocketAddr) -> Response {
+        let span = self.obs.registry.span("collector.ingest.submit");
+        let response = self.ingest_inner(nonce, report, peer);
+        span.finish();
+        response
+    }
+
+    fn ingest_inner(&self, nonce: &[u8; NONCE_LEN], report: &[u8], peer: SocketAddr) -> Response {
         if report.len() > self.config.max_report_len {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            self.obs.rejected.inc();
             return Response::Rejected {
                 reason: "report exceeds maximum size".to_string(),
             };
@@ -115,6 +173,7 @@ impl IngestCore {
             Ok(ct) => ct,
             Err(_) => {
                 self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.obs.rejected.inc();
                 return Response::Rejected {
                     reason: "report is not a hybrid ciphertext".to_string(),
                 };
@@ -123,10 +182,12 @@ impl IngestCore {
         match self.dedup.begin(nonce) {
             NonceCheck::Duplicate => {
                 self.stats.duplicates.fetch_add(1, Ordering::Relaxed);
+                self.obs.duplicates.inc();
                 return Response::Duplicate;
             }
             NonceCheck::InFlight | NonceCheck::Full => {
                 self.stats.backpressured.fetch_add(1, Ordering::Relaxed);
+                self.obs.backpressured.inc();
                 return Response::RetryAfter {
                     millis: self.config.retry_after_ms,
                 };
@@ -141,10 +202,12 @@ impl IngestCore {
             Ok(()) => {
                 self.dedup.commit(nonce);
                 self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                self.obs.accepted.inc();
                 let depth = self.queue.len();
                 self.stats
                     .peak_queue_depth
                     .fetch_max(depth, Ordering::Relaxed);
+                self.obs.queue_depth.set(depth as i64);
                 Response::Ack {
                     pending: depth as u32,
                 }
@@ -152,6 +215,7 @@ impl IngestCore {
             Err(PushError::Full(_)) | Err(PushError::Closed(_)) => {
                 self.dedup.abort(nonce);
                 self.stats.backpressured.fetch_add(1, Ordering::Relaxed);
+                self.obs.backpressured.inc();
                 Response::RetryAfter {
                     millis: self.config.retry_after_ms,
                 }
@@ -314,6 +378,53 @@ mod tests {
             Response::RetryAfter { .. }
         ));
         assert_eq!(core.stats().backpressured, 1);
+    }
+
+    #[test]
+    fn obs_counters_mirror_ingest_stats() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let registry = Arc::new(Registry::new(true));
+        let core = IngestCore::with_registry(IngestConfig::default(), Arc::clone(&registry));
+        let report = sealed_report(&mut rng);
+        core.ingest(&nonce(0), &report, peer());
+        core.ingest(&nonce(0), &report, peer()); // duplicate
+        core.ingest(&nonce(1), &[0u8; 4], peer()); // rejected
+        core.ingest(&nonce(2), &report, peer());
+
+        let snap = registry.snapshot();
+        let stats = core.stats();
+        assert_eq!(
+            snap.get("collector.ingest.accepted"),
+            Some(stats.accepted as f64)
+        );
+        assert_eq!(
+            snap.get("collector.ingest.duplicates"),
+            Some(stats.duplicates as f64)
+        );
+        assert_eq!(
+            snap.get("collector.ingest.rejected"),
+            Some(stats.rejected as f64)
+        );
+        assert_eq!(snap.get("collector.queue.depth"), Some(2.0));
+        // Every submission — accepted or not — lands in the latency
+        // histogram exactly once.
+        assert_eq!(snap.get("collector.ingest.submit"), Some(4.0));
+    }
+
+    #[test]
+    fn disabled_registry_keeps_legacy_stats_working() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let registry = Arc::new(Registry::new(false));
+        let core = IngestCore::with_registry(IngestConfig::default(), Arc::clone(&registry));
+        let report = sealed_report(&mut rng);
+        core.ingest(&nonce(0), &report, peer());
+        assert_eq!(core.stats().accepted, 1, "legacy stats are unconditional");
+        // The handles exist (registered at construction) but recorded
+        // nothing while the registry is disabled.
+        let snap = registry.snapshot();
+        assert_eq!(snap.get("collector.ingest.accepted"), Some(0.0));
+        // Disabled spans never even register the latency histogram.
+        assert_eq!(snap.get("collector.ingest.submit"), None);
     }
 
     #[test]

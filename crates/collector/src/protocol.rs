@@ -13,12 +13,15 @@
 //!   PING:          [u32 len][u8 version=1][u8 type=2]
 //!   SUBMIT_ROUTED: [u32 len][u8 version=1][u8 type=3][u64 crowd prefix]
 //!                  [16-byte nonce][u32+report bytes]
+//!   STATS:         [u32 len][u8 version=1][u8 type=4]
 //!
 //! collector → client
 //!   ACK:         [u32 len][u8 version=1][u8 code=0][u32 queue depth]
 //!   RETRY_AFTER: [u32 len][u8 version=1][u8 code=1][u32 millis]
 //!   REJECTED:    [u32 len][u8 version=1][u8 code=2][u32+reason bytes]
 //!   DUPLICATE:   [u32 len][u8 version=1][u8 code=3]
+//!   STATS:       [u32 len][u8 version=1][u8 code=4][u32 count]
+//!                ([u32+name bytes][u64 f64 bits])*
 //! ```
 //!
 //! The nonce is chosen by the client per submission and is the replay-dedup
@@ -72,10 +75,13 @@ pub enum Request {
         /// The serialized outer ciphertext of a client report.
         report: Vec<u8>,
     },
+    /// Ask for the collector's live telemetry snapshot
+    /// ([`prochlo_obs::Snapshot::flat`] over the service registry).
+    Stats,
 }
 
 /// A collector-to-client message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The report was accepted into the current epoch's queue.
     Ack {
@@ -94,6 +100,13 @@ pub enum Response {
     },
     /// The nonce was already accepted; the report is already queued.
     Duplicate,
+    /// The flattened telemetry snapshot: sorted `(metric name, value)`
+    /// pairs, exactly what [`prochlo_obs::Snapshot::flat`] produces.
+    /// Values travel as IEEE-754 bit patterns so the round trip is exact.
+    Stats {
+        /// Sorted `(name, value)` metric pairs.
+        entries: Vec<(String, f64)>,
+    },
 }
 
 impl Request {
@@ -118,6 +131,7 @@ impl Request {
                 out.extend_from_slice(nonce);
                 put_bytes(&mut out, report);
             }
+            Request::Stats => put_u8(&mut out, 4),
         }
         out
     }
@@ -142,6 +156,7 @@ impl Request {
                     report,
                 }
             }
+            4 => Request::Stats,
             _ => return Err(CollectorError::Protocol("unknown request type")),
         };
         check_exhausted(&reader)?;
@@ -168,6 +183,14 @@ impl Response {
                 put_bytes(&mut out, reason.as_bytes());
             }
             Response::Duplicate => put_u8(&mut out, 3),
+            Response::Stats { entries } => {
+                put_u8(&mut out, 4);
+                put_u32(&mut out, entries.len() as u32);
+                for (name, value) in entries {
+                    put_bytes(&mut out, name.as_bytes());
+                    put_u64(&mut out, value.to_bits());
+                }
+            }
         }
         out
     }
@@ -191,6 +214,22 @@ impl Response {
                 }
             }
             3 => Response::Duplicate,
+            4 => {
+                let count = read_u32(&mut reader)? as usize;
+                let mut entries = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let name = reader
+                        .get_bytes()
+                        .map_err(|_| CollectorError::Protocol("truncated metric name"))?;
+                    let name = String::from_utf8(name)
+                        .map_err(|_| CollectorError::Protocol("metric name is not utf-8"))?;
+                    let bits = reader
+                        .get_u64()
+                        .map_err(|_| CollectorError::Protocol("truncated metric value"))?;
+                    entries.push((name, f64::from_bits(bits)));
+                }
+                Response::Stats { entries }
+            }
             _ => return Err(CollectorError::Protocol("unknown response code")),
         };
         check_exhausted(&reader)?;
@@ -270,6 +309,7 @@ mod tests {
                 nonce: [9u8; NONCE_LEN],
                 report: vec![5, 6],
             },
+            Request::Stats,
         ] {
             assert_eq!(Request::from_bytes(&request.to_bytes()).unwrap(), request);
         }
@@ -284,11 +324,44 @@ mod tests {
                 reason: "not a ciphertext".to_string(),
             },
             Response::Duplicate,
+            Response::Stats {
+                entries: Vec::new(),
+            },
+            Response::Stats {
+                entries: vec![
+                    ("collector.ingest.accepted".to_string(), 41.0),
+                    ("collector.ingest.submit.sum_seconds".to_string(), 0.00125),
+                ],
+            },
         ] {
             assert_eq!(
                 Response::from_bytes(&response.to_bytes()).unwrap(),
                 response
             );
+        }
+    }
+
+    #[test]
+    fn stats_values_round_trip_bit_exactly() {
+        // f64 bit patterns must survive the wire unchanged, including
+        // values with no short decimal representation.
+        let entries = vec![
+            ("a".to_string(), 0.1 + 0.2),
+            ("b".to_string(), f64::MIN_POSITIVE),
+            ("c".to_string(), -0.0),
+        ];
+        let wire = Response::Stats {
+            entries: entries.clone(),
+        }
+        .to_bytes();
+        match Response::from_bytes(&wire).unwrap() {
+            Response::Stats { entries: got } => {
+                for ((name, want), (got_name, got_value)) in entries.iter().zip(&got) {
+                    assert_eq!(name, got_name);
+                    assert_eq!(want.to_bits(), got_value.to_bits());
+                }
+            }
+            other => panic!("expected Stats, got {other:?}"),
         }
     }
 
@@ -302,6 +375,8 @@ mod tests {
         trailing.push(0);
         assert!(Request::from_bytes(&trailing).is_err());
         assert!(Response::from_bytes(&[9]).is_err());
+        // A stats count with no entries behind it is truncated.
+        assert!(Response::from_bytes(&[4, 0, 0, 0, 1]).is_err());
     }
 
     #[test]

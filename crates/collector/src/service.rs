@@ -72,6 +72,11 @@ pub struct CollectorConfig {
     /// resolves through the `PROCHLO_SHUFFLE_THREADS` knob when left at
     /// `0` (see [`prochlo_core::exec::resolve_threads`]).
     pub engine: Option<EngineConfig>,
+    /// Telemetry registry the service reports into; `None` (the default)
+    /// uses the process-wide [`prochlo_obs::global`] registry. Tests that
+    /// assert exact metric counts supply their own so concurrently
+    /// running collectors cannot cross-contaminate.
+    pub registry: Option<Arc<prochlo_obs::Registry>>,
 }
 
 impl Default for CollectorConfig {
@@ -90,6 +95,7 @@ impl Default for CollectorConfig {
             io_timeout: Duration::from_secs(10),
             seed: 0,
             engine: None,
+            registry: None,
         }
     }
 }
@@ -252,13 +258,20 @@ impl Collector {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
+        let registry = config
+            .registry
+            .clone()
+            .unwrap_or_else(|| Arc::clone(prochlo_obs::global()));
         let shared = Arc::new(Shared {
-            ingest: IngestCore::new(IngestConfig {
-                queue_capacity: config.queue_capacity,
-                max_report_len: config.max_report_len,
-                dedup_capacity: config.dedup_capacity,
-                retry_after_ms: config.retry_after_ms,
-            }),
+            ingest: IngestCore::with_registry(
+                IngestConfig {
+                    queue_capacity: config.queue_capacity,
+                    max_report_len: config.max_report_len,
+                    dedup_capacity: config.dedup_capacity,
+                    retry_after_ms: config.retry_after_ms,
+                },
+                registry,
+            ),
             shutting_down: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             connections_refused: AtomicU64::new(0),
@@ -321,6 +334,12 @@ impl Collector {
     /// A live snapshot of the service counters.
     pub fn stats(&self) -> CollectorStats {
         self.shared.stats_snapshot()
+    }
+
+    /// A live snapshot of the telemetry registry this collector reports
+    /// into — the same view the wire `STATS` request returns.
+    pub fn obs_snapshot(&self) -> prochlo_obs::Snapshot {
+        self.shared.ingest.registry().snapshot()
     }
 
     /// Shuts the service down gracefully: stop accepting, finish serving
@@ -448,6 +467,11 @@ fn serve_connection(
             Ok(Request::Ping) => Response::Ack {
                 pending: shared.ingest.queue().len() as u32,
             },
+            // The live telemetry snapshot, flattened to (name, value)
+            // pairs — what an operator dashboard polls.
+            Ok(Request::Stats) => Response::Stats {
+                entries: shared.ingest.registry().snapshot().flat(),
+            },
             Err(_) => {
                 // A desynchronized or hostile peer; reject and hang up.
                 let reject = Response::Rejected {
@@ -463,6 +487,12 @@ fn serve_connection(
 
 fn epoch_loop(mut pipeline: Box<dyn EpochPipeline>, shared: &Shared, config: &CollectorConfig) {
     let queue = shared.ingest.queue();
+    let registry = shared.ingest.registry();
+    let epochs_cut = registry.counter("collector.epoch.cut");
+    let epoch_reports = registry.counter("collector.epoch.reports");
+    // The epoch flight recorder: one JSONL line per cut epoch when
+    // PROCHLO_OBS_PATH names a sink.
+    let flight = prochlo_obs::FlightRecorder::from_env();
     let mut spec = EpochSpec::new(0, config.seed);
     if let Some(engine) = &config.engine {
         spec = spec.with_engine(engine.clone());
@@ -479,11 +509,27 @@ fn epoch_loop(mut pipeline: Box<dyn EpochPipeline>, shared: &Shared, config: &Co
         // randomness, so identically-seeded runs replay identically
         // regardless of client thread scheduling.
         let reports = batch.len();
+        let span = registry.span("collector.epoch.process");
         let outcome = pipeline.process(&spec, batch);
+        let process_seconds = span.finish();
         shared
             .reports_processed
             .fetch_add(reports as u64, Ordering::Relaxed);
         shared.epochs_cut.fetch_add(1, Ordering::Relaxed);
+        epochs_cut.inc();
+        epoch_reports.add(reports as u64);
+        if let Some(flight) = &flight {
+            flight.record(
+                "collector",
+                spec.epoch_index,
+                reports as f64,
+                &[
+                    ("process_seconds", process_seconds),
+                    ("queue_depth", queue.len() as f64),
+                    ("ok", if outcome.is_ok() { 1.0 } else { 0.0 }),
+                ],
+            );
+        }
         shared.epochs.lock().push(EpochResult {
             index: spec.epoch_index,
             reports,
@@ -664,6 +710,54 @@ mod tests {
             // collector's engine override must win.
             assert_eq!(report.shuffler_stats.backend, "batcher");
         }
+    }
+
+    #[test]
+    fn stats_request_reflects_the_live_registry() {
+        let registry = Arc::new(prochlo_obs::Registry::new(true));
+        let config = CollectorConfig {
+            registry: Some(Arc::clone(&registry)),
+            ..test_config()
+        };
+        let (collector, encoder) = start_collector(71, config);
+        let mut rng = StdRng::seed_from_u64(72);
+        let mut client = CollectorClient::connect(collector.local_addr()).unwrap();
+        for i in 0..5u64 {
+            let report = encoder
+                .encode_plain(b"value", CrowdStrategy::None, i, &mut rng)
+                .unwrap();
+            client
+                .submit(&fresh_nonce(&mut rng), &report.outer.to_bytes())
+                .unwrap();
+        }
+        let entries = client.stats().unwrap();
+        let get = |name: &str| {
+            entries
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+        };
+        assert_eq!(get("collector.ingest.accepted"), 5.0);
+        assert_eq!(get("collector.ingest.submit.count"), 5.0);
+        // Names arrive sorted, mirroring Snapshot::flat.
+        let names: Vec<&String> = entries.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        drop(client);
+        let summary = collector.shutdown();
+        // The wire snapshot and the legacy summary agree.
+        assert_eq!(summary.stats.ingest.accepted, 5);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.get("collector.epoch.reports"),
+            Some(summary.stats.reports_processed as f64)
+        );
+        assert_eq!(
+            snap.get("collector.epoch.cut"),
+            Some(summary.stats.epochs_cut as f64)
+        );
     }
 
     #[test]

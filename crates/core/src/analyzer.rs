@@ -85,7 +85,8 @@ impl Analyzer {
             num_threads.max(1),
             exec::CHUNK_RECORDS,
             |_chunk_idx, chunk| {
-                chunk
+                let span = prochlo_obs::span("analyzer.decrypt.chunk");
+                let payloads = chunk
                     .iter()
                     .map(|item| {
                         HybridCiphertext::from_bytes(item)
@@ -93,7 +94,9 @@ impl Analyzer {
                             .and_then(|ct| ct.open(self.keys.secret(), ANALYZER_AAD).ok())
                             .and_then(|bytes| AnalyzerPayload::from_bytes(&bytes).ok())
                     })
-                    .collect::<Vec<_>>()
+                    .collect::<Vec<_>>();
+                span.finish();
+                payloads
             },
         )
         .into_iter()

@@ -18,8 +18,8 @@ pub mod engine;
 pub mod split;
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
+use prochlo_obs::Unmeasured;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -190,8 +190,13 @@ impl ShufflerConfig {
 }
 
 /// Wall-clock spent in each batch phase. Excluded from [`ShufflerStats`]
-/// equality: seeded replays must agree on every count while wall-clock
-/// naturally varies run to run.
+/// equality (via [`Unmeasured`]): seeded replays must agree on every
+/// count while wall-clock naturally varies run to run.
+///
+/// Phases are timed by `prochlo-obs` spans, which also feed the
+/// `shuffler.peel` / `shuffler.threshold` / `shuffler.shuffle` registry
+/// histograms; when telemetry is disabled (`PROCHLO_OBS=0`) the spans
+/// never read the clock and every field here reads zero.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimings {
     /// Outer-layer decryption (parallel).
@@ -210,7 +215,11 @@ impl PhaseTimings {
 }
 
 /// Statistics describing what happened to one batch.
-#[derive(Debug, Clone, Default)]
+///
+/// Replay equality: every count and the backend must match; wall-clock
+/// timings sit behind [`Unmeasured`], so they are observational and
+/// deliberately ignored by the derived `PartialEq`.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ShufflerStats {
     /// Reports received in the batch.
     pub received: usize,
@@ -232,23 +241,7 @@ pub struct ShufflerStats {
     /// phase runs).
     pub backend: &'static str,
     /// Per-phase wall-clock (not part of equality).
-    pub timings: PhaseTimings,
-}
-
-/// Replay equality: every count and the backend must match; wall-clock
-/// timings are observational and deliberately ignored.
-impl PartialEq for ShufflerStats {
-    fn eq(&self, other: &Self) -> bool {
-        self.received == other.received
-            && self.forwarded == other.forwarded
-            && self.dropped_noise == other.dropped_noise
-            && self.dropped_threshold == other.dropped_threshold
-            && self.rejected == other.rejected
-            && self.crowds_seen == other.crowds_seen
-            && self.crowds_forwarded == other.crowds_forwarded
-            && self.shuffle_attempts == other.shuffle_attempts
-            && self.backend == other.backend
-    }
+    pub timings: Unmeasured<PhaseTimings>,
 }
 
 /// The output the analyzer receives: anonymous, shuffled inner ciphertexts.
@@ -373,19 +366,19 @@ impl Shuffler {
 
         // Phase 1: peel the outer layer inside the enclave (parallel);
         // transport metadata is dropped here and never referenced again.
-        let started = Instant::now();
+        let span = prochlo_obs::span("shuffler.peel");
         let envelopes = self.peel(reports, num_threads, &mut stats);
-        stats.timings.peel_seconds = started.elapsed().as_secs_f64();
+        stats.timings.peel_seconds = span.finish();
 
         // Phase 2: randomized cardinality thresholding per crowd (§3.5).
-        let started = Instant::now();
+        let span = prochlo_obs::span("shuffler.threshold");
         let survivors = self.threshold(envelopes, &mut stats, rng)?;
-        stats.timings.threshold_seconds = started.elapsed().as_secs_f64();
+        stats.timings.threshold_seconds = span.finish();
 
         // Phase 3: oblivious shuffle of the surviving inner ciphertexts.
-        let started = Instant::now();
+        let span = prochlo_obs::span("shuffler.shuffle");
         let items = self.shuffle_survivors(engine, num_threads, survivors, &mut stats, rng)?;
-        stats.timings.shuffle_seconds = started.elapsed().as_secs_f64();
+        stats.timings.shuffle_seconds = span.finish();
 
         stats.forwarded = items.len();
         Ok(ShuffledBatch { items, stats })

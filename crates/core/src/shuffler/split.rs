@@ -16,7 +16,6 @@
 //!   ciphertexts to the analyzer.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -91,7 +90,7 @@ impl ShufflerOne {
         elgamal_public: &Point,
         rng: &mut R,
     ) -> Result<(Vec<BlindedRecord>, ShufflerStats), PipelineError> {
-        let started = Instant::now();
+        let peel_span = prochlo_obs::span("shuffler.s1.peel");
         let blinding = BlindingSecret::random(rng);
         let mut rejected = 0usize;
         let mut records = Vec::with_capacity(reports.len());
@@ -122,8 +121,8 @@ impl ShufflerOne {
                 inner: envelope.inner,
             });
         }
-        let peel_seconds = started.elapsed().as_secs_f64();
-        let shuffle_started = Instant::now();
+        let peel_seconds = peel_span.finish();
+        let shuffle_span = prochlo_obs::span("shuffler.s1.shuffle");
         records.shuffle(rng);
         let mut stats = ShufflerStats {
             received: reports.len(),
@@ -134,7 +133,7 @@ impl ShufflerOne {
             ..ShufflerStats::default()
         };
         stats.timings.peel_seconds = peel_seconds;
-        stats.timings.shuffle_seconds = shuffle_started.elapsed().as_secs_f64();
+        stats.timings.shuffle_seconds = shuffle_span.finish();
         Ok((records, stats))
     }
 }
@@ -166,7 +165,7 @@ impl ShufflerTwo {
         records: Vec<BlindedRecord>,
         rng: &mut R,
     ) -> Result<(Vec<Vec<u8>>, ShufflerStats), PipelineError> {
-        let started = Instant::now();
+        let peel_span = prochlo_obs::span("shuffler.s2.peel");
         let mut stats = ShufflerStats {
             received: records.len(),
             backend: "inline",
@@ -186,8 +185,8 @@ impl ShufflerTwo {
         }
         stats.crowds_seen = groups.len();
         // Unblinding to handles is this stage's "peel".
-        stats.timings.peel_seconds = started.elapsed().as_secs_f64();
-        let threshold_started = Instant::now();
+        stats.timings.peel_seconds = peel_span.finish();
+        let threshold_span = prochlo_obs::span("shuffler.s2.threshold");
 
         let drop_dist = if self.config.drop_mean > 0.0 || self.config.drop_sigma > 0.0 {
             Some(RoundedNormal::new(
@@ -220,9 +219,9 @@ impl ShufflerTwo {
             }
         }
 
-        stats.timings.threshold_seconds = threshold_started.elapsed().as_secs_f64();
+        stats.timings.threshold_seconds = threshold_span.finish();
 
-        let shuffle_started = Instant::now();
+        let shuffle_span = prochlo_obs::span("shuffler.s2.shuffle");
         let keep_set: std::collections::HashSet<usize> = keep.into_iter().collect();
         let mut survivors: Vec<Vec<u8>> = inners
             .into_iter()
@@ -232,7 +231,7 @@ impl ShufflerTwo {
         survivors.shuffle(rng);
         stats.forwarded = survivors.len();
         stats.shuffle_attempts = 1;
-        stats.timings.shuffle_seconds = shuffle_started.elapsed().as_secs_f64();
+        stats.timings.shuffle_seconds = shuffle_span.finish();
         Ok((survivors, stats))
     }
 }

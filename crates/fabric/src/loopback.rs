@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::transport::{ChannelId, Envelope, FabricError, Peer, Stage, Transport};
+use crate::transport::{metrics, ChannelId, Envelope, FabricError, Peer, Stage, Transport};
 
 #[derive(Default)]
 struct HubState {
@@ -114,6 +114,7 @@ impl Transport for LoopbackTransport {
             .or_default()
             .push_back(frame);
         drop(state);
+        metrics::frame_sent(to, stage, payload.len());
         self.hub.arrived.notify_all();
         Ok(())
     }
@@ -132,6 +133,7 @@ impl Transport for LoopbackTransport {
                 }
                 let expected = state.recv_seq.entry(key).or_insert(0);
                 if envelope.seq != *expected {
+                    metrics::out_of_order(channel);
                     return Err(FabricError::OutOfOrder {
                         channel,
                         expected: *expected,
@@ -139,6 +141,7 @@ impl Transport for LoopbackTransport {
                     });
                 }
                 *expected += 1;
+                metrics::frame_received(channel, envelope.payload.len());
                 return Ok(envelope.payload);
             }
             if state.closed {

@@ -135,7 +135,8 @@ fn decode_stats(reader: &mut Reader<'_>) -> Result<ShufflerStats, FabricError> {
             peel_seconds: seconds[0],
             threshold_seconds: seconds[1],
             shuffle_seconds: seconds[2],
-        },
+        }
+        .into(),
     })
 }
 
@@ -540,7 +541,8 @@ mod tests {
                 peel_seconds: 0.25,
                 threshold_seconds: 0.5,
                 shuffle_seconds: 0.125,
-            },
+            }
+            .into(),
         }
     }
 

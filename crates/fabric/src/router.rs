@@ -255,6 +255,10 @@ fn serve_connection(
     stream.set_read_timeout(Some(config.io_timeout))?;
     stream.set_write_timeout(Some(config.io_timeout))?;
     stream.set_nodelay(true)?;
+    // Obs mirrors of the legacy counters, cached per connection.
+    let obs_routed = prochlo_obs::counter("fabric.router.routed");
+    let obs_rejected = prochlo_obs::counter("fabric.router.rejected");
+    let obs_forward_failures = prochlo_obs::counter("fabric.router.forward_failures");
     let mut reader = std::io::BufReader::new(stream.try_clone()?);
     let mut writer = std::io::BufWriter::new(stream);
     loop {
@@ -273,28 +277,41 @@ fn serve_connection(
                 report,
             }) => {
                 let shard = ShardedDeployment::shard_index_from_prefix(crowd_prefix, sinks.len());
-                match sinks[shard].submit_routed(crowd_prefix, &nonce, &report) {
+                let span = prochlo_obs::span("fabric.router.forward");
+                let forwarded = sinks[shard].submit_routed(crowd_prefix, &nonce, &report);
+                span.finish();
+                match forwarded {
                     Ok(verdict) => {
                         counters.routed.fetch_add(1, Ordering::Relaxed);
+                        obs_routed.inc();
                         verdict
                     }
                     Err(_) => {
                         // The forwarding leg died; tell the client to retry
                         // (the next attempt may land on a healthy worker).
                         counters.forward_failures.fetch_add(1, Ordering::Relaxed);
+                        obs_forward_failures.inc();
                         Response::RetryAfter { millis: 100 }
                     }
                 }
             }
             Ok(Request::Submit { .. }) => {
                 counters.rejected.fetch_add(1, Ordering::Relaxed);
+                obs_rejected.inc();
                 Response::Rejected {
                     reason: "router requires routed submissions (SUBMIT_ROUTED)".to_string(),
                 }
             }
             Ok(Request::Ping) => Response::Ack { pending: 0 },
+            // The router has no ingest core of its own; answer with the
+            // process-wide registry (its fabric.router.* counters live
+            // there).
+            Ok(Request::Stats) => Response::Stats {
+                entries: prochlo_obs::snapshot().flat(),
+            },
             Err(_) => {
                 counters.rejected.fetch_add(1, Ordering::Relaxed);
+                obs_rejected.inc();
                 let reject = Response::Rejected {
                     reason: "malformed request".to_string(),
                 };

@@ -86,9 +86,11 @@ pub fn serve_shuffler_one(
                 })
                 .collect::<Result<_, FabricError>>()?;
             let mut rng = StdRng::seed_from_u64(batch.s1_seed);
+            let span = prochlo_obs::span("fabric.s1.serve");
             let (records, stage_one) = one
                 .process_batch(&reports, elgamal_public, &mut rng)
                 .map_err(|e| FabricError::Processing(e.to_string()))?;
+            span.finish();
             let forward = BatchToTwo {
                 shard,
                 epoch_index: batch.epoch_index,
@@ -124,9 +126,11 @@ pub fn serve_shuffler_two(transport: &dyn Transport, two: &ShufflerTwo) -> Resul
         };
         let records = batch.decode_records()?;
         let mut rng = StdRng::seed_from_u64(batch.s2_seed);
+        let span = prochlo_obs::span("fabric.s2.serve");
         let (items, stage_two) = two
             .process_batch(records, &mut rng)
             .map_err(|e| FabricError::Processing(e.to_string()))?;
+        span.finish();
         let answer = ItemsBatch {
             shard: batch.shard,
             epoch_index: batch.epoch_index,
@@ -155,6 +159,9 @@ pub struct RemoteSplitPipeline {
     transport: Arc<dyn Transport>,
     shard: u16,
     analyzer: Analyzer,
+    /// Per-epoch flight-recorder sink (`PROCHLO_OBS_PATH`); `None` when
+    /// the knob is unset.
+    flight: Option<prochlo_obs::FlightRecorder>,
 }
 
 impl RemoteSplitPipeline {
@@ -165,6 +172,7 @@ impl RemoteSplitPipeline {
             transport,
             shard,
             analyzer,
+            flight: prochlo_obs::FlightRecorder::from_env(),
         }
     }
 
@@ -204,6 +212,7 @@ impl EpochPipeline for RemoteSplitPipeline {
         let mut rng = epoch_rng(spec.seed, spec.epoch_index);
         let (s1_seed, s2_seed) = SplitShuffler::stage_seeds(&mut rng);
 
+        let sent = batch.len();
         let to_one = ToOne::Batch(crate::messages::BatchToOne {
             shard: self.shard,
             epoch_index: spec.epoch_index,
@@ -211,6 +220,9 @@ impl EpochPipeline for RemoteSplitPipeline {
             s2_seed,
             reports: batch.iter().map(|r| r.outer.to_bytes()).collect(),
         });
+        // Time the full ship-shuffle-return round trip the shard is
+        // blocked on.
+        let span = prochlo_obs::span("fabric.shard.roundtrip");
         TypedChannel::<ToOne>::new(
             self.transport.as_ref(),
             ChannelId::new(Peer::ShufflerOne, Stage::Batch),
@@ -222,6 +234,7 @@ impl EpochPipeline for RemoteSplitPipeline {
             ChannelId::new(Peer::ShufflerTwo, Stage::Items),
         )
         .recv()?;
+        let roundtrip_seconds = span.finish();
         if items.shard != self.shard || items.epoch_index != spec.epoch_index {
             return Err(PipelineError::Transport(format!(
                 "items for shard {} epoch {} answered shard {} epoch {}",
@@ -236,6 +249,18 @@ impl EpochPipeline for RemoteSplitPipeline {
             .ingest_items_parallel(&items.items, num_threads)?;
         let stats =
             SplitShuffler::merge_stage_stats(items.received, &items.stage_one, &items.stage_two);
+        if let Some(flight) = &self.flight {
+            flight.record(
+                &format!("shard{}", self.shard),
+                spec.epoch_index,
+                sent as f64,
+                &[
+                    ("roundtrip_seconds", roundtrip_seconds),
+                    ("items_returned", items.items.len() as f64),
+                    ("forwarded", stats.forwarded as f64),
+                ],
+            );
+        }
         Ok(PipelineReport {
             database,
             shuffler_stats: stats,

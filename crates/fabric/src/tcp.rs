@@ -22,7 +22,9 @@ use parking_lot::{Condvar, Mutex};
 use prochlo_core::framing::{FrameRead, FrameWrite};
 use prochlo_core::wire::Reader;
 
-use crate::transport::{frame_policy, ChannelId, Envelope, FabricError, Peer, Stage, Transport};
+use crate::transport::{
+    frame_policy, metrics, ChannelId, Envelope, FabricError, Peer, Stage, Transport,
+};
 
 struct LinkInbox {
     /// Buffered payloads per incoming stage.
@@ -73,6 +75,7 @@ impl Link {
         };
         *seq += 1;
         writer.write_frame(&frame_policy(), &envelope.to_bytes())?;
+        metrics::frame_sent(self.peer, stage, payload.len());
         Ok(())
     }
 
@@ -87,16 +90,19 @@ impl Link {
                 actual: envelope.from,
             });
         }
+        let channel = ChannelId::new(envelope.from, envelope.stage);
         let mut inbox = self.inbox.lock();
         let expected = inbox.recv_seq.entry(envelope.stage).or_insert(0);
         if envelope.seq != *expected {
+            metrics::out_of_order(channel);
             return Err(FabricError::OutOfOrder {
-                channel: ChannelId::new(envelope.from, envelope.stage),
+                channel,
                 expected: *expected,
                 actual: envelope.seq,
             });
         }
         *expected += 1;
+        metrics::frame_received(channel, envelope.payload.len());
         inbox
             .stages
             .entry(envelope.stage)

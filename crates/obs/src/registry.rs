@@ -1,0 +1,451 @@
+//! The metrics registry: named counters, gauges, and latency histograms.
+//!
+//! A [`Registry`] is a process-wide (or test-local) table of instruments
+//! keyed by dotted name. Lookups hand back cheap `Arc` handles
+//! ([`Counter`], [`Gauge`], [`Histogram`]) that hot paths cache and bump
+//! with single atomic operations; the registry itself is only locked when
+//! an instrument is first created or when a [`Snapshot`] is taken. The
+//! name table is sharded across several `RwLock`-protected maps so that
+//! concurrent first-registrations from different subsystems do not
+//! serialize on one lock.
+//!
+//! Instruments never touch an RNG stream and never reorder work: every
+//! recording is a relaxed atomic on a pre-existing cell. Disabling a
+//! registry ([`Registry::set_enabled`]) turns every recording into a
+//! single relaxed load-and-skip, which is what keeps the seeded
+//! determinism contract trivially intact whether telemetry is on or off.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::snapshot::{HistogramSnapshot, Snapshot, SnapshotEntry, SnapshotValue};
+use crate::span::Span;
+
+/// Number of fixed histogram buckets. Bucket `0` covers `[0, 1µs)`;
+/// bucket `i >= 1` covers `[2^(i-1), 2^i)` microseconds; the last bucket
+/// is unbounded above. See [`bucket_bounds`].
+pub const NUM_BUCKETS: usize = 32;
+
+/// Number of name shards in the registry. Power of two so the name hash
+/// can be masked.
+const NUM_SHARDS: usize = 8;
+
+/// Inclusive-lower / exclusive-upper bounds of histogram bucket `index`,
+/// in **seconds**. The buckets partition `[0, +inf)`: `lower(0) == 0`,
+/// `upper(i) == lower(i + 1)`, and the final bucket's upper bound is
+/// `f64::INFINITY`.
+///
+/// ```
+/// let (lo, hi) = prochlo_obs::bucket_bounds(1);
+/// assert_eq!((lo, hi), (1e-6, 2e-6)); // [1µs, 2µs)
+/// ```
+pub fn bucket_bounds(index: usize) -> (f64, f64) {
+    assert!(index < NUM_BUCKETS, "bucket index {index} out of range");
+    let lower = if index == 0 {
+        0.0
+    } else {
+        (1u64 << (index - 1)) as f64 * 1e-6
+    };
+    let upper = if index == NUM_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        (1u64 << index) as f64 * 1e-6
+    };
+    (lower, upper)
+}
+
+/// Bucket index a duration of `seconds` falls into. Total on `[0, +inf)`
+/// (negative inputs clamp to bucket 0), matching [`bucket_bounds`].
+pub fn bucket_index(seconds: f64) -> usize {
+    let micros = seconds * 1e6;
+    if micros.is_nan() || micros < 1.0 {
+        // Sub-microsecond, zero, negative, and NaN all land in bucket 0.
+        return 0;
+    }
+    let n = micros as u64; // truncation keeps [2^(i-1), 2^i) intact
+    let bits = 64 - n.leading_zeros() as usize; // n in [2^(bits-1), 2^bits)
+    bits.min(NUM_BUCKETS - 1)
+}
+
+/// FNV-1a over the instrument name; only used to pick a shard, never to
+/// order output (snapshots sort by name).
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h as usize) & (NUM_SHARDS - 1)
+}
+
+/// Shared cell behind a [`Counter`] handle.
+#[derive(Default)]
+struct CounterCell {
+    value: AtomicU64,
+}
+
+/// Shared cell behind a [`Gauge`] handle.
+#[derive(Default)]
+struct GaugeCell {
+    value: AtomicI64,
+}
+
+/// Shared cell behind a [`Histogram`] handle.
+struct HistogramCell {
+    counts: [AtomicU64; NUM_BUCKETS],
+    /// Total recorded time in nanoseconds. Nanosecond integers keep the
+    /// sum a single `fetch_add` instead of a CAS loop over f64 bits.
+    sum_nanos: AtomicU64,
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        HistogramCell {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A monotonically increasing event count (dedup hits, frames sent,
+/// reports accepted). Handles are `Arc`-backed: clone freely, cache in
+/// hot structs, and bump lock-free.
+#[derive(Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<CounterCell>,
+}
+
+impl Counter {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time level (queue depth, EPC bytes in use). Signed so that
+/// matched `add`/`sub` pairs can momentarily cross zero under races
+/// without wrapping.
+#[derive(Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<GaugeCell>,
+}
+
+impl Gauge {
+    /// Set the level outright.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the level by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Lower the level by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Ratchet the level up to `v` if `v` is higher (peak tracking).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.cell.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram (exponential microsecond buckets,
+/// see [`bucket_bounds`]). Record durations directly or through a
+/// [`Span`].
+#[derive(Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// Record one observation of `seconds`.
+    #[inline]
+    pub fn record(&self, seconds: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.counts[bucket_index(seconds)].fetch_add(1, Ordering::Relaxed);
+            let nanos = (seconds.max(0.0) * 1e9) as u64;
+            self.cell.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.cell
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all observations, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.cell.sum_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; NUM_BUCKETS];
+        for (dst, src) in counts.iter_mut().zip(self.cell.counts.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            sum_seconds: self.sum_seconds(),
+        }
+    }
+}
+
+/// One instrument slot in the name table.
+#[derive(Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named-instrument table with on-demand snapshots.
+///
+/// One process-wide instance lives behind [`crate::global`]; tests that
+/// assert exact counts construct their own so concurrently running
+/// suites cannot cross-contaminate.
+///
+/// ```
+/// use prochlo_obs::Registry;
+///
+/// let registry = Registry::new(true);
+/// let accepted = registry.counter("collector.ingest.accepted");
+/// accepted.add(3);
+///
+/// let span = registry.span("collector.epoch.process");
+/// // ... work ...
+/// let elapsed_seconds = span.finish();
+/// assert!(elapsed_seconds >= 0.0);
+///
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.get("collector.ingest.accepted"), Some(3.0));
+/// ```
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    shards: [RwLock<BTreeMap<String, Instrument>>; NUM_SHARDS],
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new(true)
+    }
+}
+
+impl Registry {
+    /// Create a registry, initially enabled or disabled.
+    pub fn new(enabled: bool) -> Self {
+        Registry {
+            enabled: Arc::new(AtomicBool::new(enabled)),
+            shards: std::array::from_fn(|_| RwLock::new(BTreeMap::new())),
+        }
+    }
+
+    /// Whether recordings currently land anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flip recording on or off. Existing handles observe the change
+    /// immediately; disabled handles cost one relaxed load per call.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Look up or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.instrument(name, || {
+            Instrument::Counter(Counter {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::new(CounterCell::default()),
+            })
+        }) {
+            Instrument::Counter(c) => c,
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Look up or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.instrument(name, || {
+            Instrument::Gauge(Gauge {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::new(GaugeCell::default()),
+            })
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Look up or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.instrument(name, || {
+            Instrument::Histogram(Histogram {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::new(HistogramCell::default()),
+            })
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Start a [`Span`] that records into the histogram named `name` when
+    /// finished. When the registry is disabled the span never reads the
+    /// clock.
+    pub fn span(&self, name: &str) -> Span {
+        if self.is_enabled() {
+            Span::started(self.histogram(name))
+        } else {
+            Span::disabled()
+        }
+    }
+
+    fn instrument(&self, name: &str, make: impl FnOnce() -> Instrument) -> Instrument {
+        let shard = &self.shards[shard_of(name)];
+        if let Some(found) = shard.read().get(name) {
+            return found.clone();
+        }
+        let mut map = shard.write();
+        map.entry(name.to_owned()).or_insert_with(make).clone()
+    }
+
+    /// Collect a point-in-time [`Snapshot`] of every instrument, sorted
+    /// by name. Safe to call while writers are recording; each cell is
+    /// read with relaxed atomics, so a snapshot is a consistent *per
+    /// instrument* view, not a cross-instrument barrier.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut entries: Vec<SnapshotEntry> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read();
+            for (name, inst) in map.iter() {
+                let value = match inst {
+                    Instrument::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Instrument::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => SnapshotValue::Histogram(Box::new(h.snapshot())),
+                };
+                entries.push(SnapshotEntry {
+                    name: name.clone(),
+                    value,
+                });
+            }
+        }
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        for (secs, want) in [
+            (0.0, 0),
+            (0.5e-6, 0),
+            (1.0e-6, 1),
+            (1.5e-6, 1),
+            (2.0e-6, 2),
+            (3.9e-6, 2),
+            (4.0e-6, 3),
+            (1.0, 20),
+            (1e9, NUM_BUCKETS - 1),
+        ] {
+            let idx = bucket_index(secs);
+            assert_eq!(idx, want, "bucket_index({secs})");
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= secs && secs < hi, "{secs} not in [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::new(false);
+        let c = r.counter("x");
+        c.add(5);
+        let h = r.histogram("y");
+        h.record(1.0);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        let span = r.span("y");
+        assert_eq!(span.finish(), 0.0);
+    }
+
+    #[test]
+    fn reenabling_applies_to_existing_handles() {
+        let r = Registry::new(false);
+        let c = r.counter("x");
+        c.inc();
+        r.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new(true);
+        r.counter("metric");
+        r.gauge("metric");
+    }
+
+    #[test]
+    fn gauge_set_max_ratchets() {
+        let r = Registry::new(true);
+        let g = r.gauge("peak");
+        g.set_max(10);
+        g.set_max(4);
+        assert_eq!(g.get(), 10);
+    }
+}

@@ -107,6 +107,41 @@ struct EnclaveState {
     trace: Vec<TraceEvent>,
 }
 
+/// The EPC gauges one enclave (or worker) mirrors into the global obs
+/// registry. Handles are resolved once at construction so the
+/// private-memory hot path never touches the registry's name table.
+#[derive(Clone)]
+struct EpcGauges {
+    in_use: prochlo_obs::Gauge,
+    peak: prochlo_obs::Gauge,
+    available: prochlo_obs::Gauge,
+}
+
+impl fmt::Debug for EpcGauges {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EpcGauges").finish_non_exhaustive()
+    }
+}
+
+impl EpcGauges {
+    fn for_instance(kind: &str, identity: &str) -> Self {
+        EpcGauges {
+            in_use: prochlo_obs::gauge(&format!("sgx.{kind}.{identity}.private_in_use")),
+            peak: prochlo_obs::gauge(&format!("sgx.{kind}.{identity}.private_peak")),
+            available: prochlo_obs::gauge(&format!("sgx.{kind}.{identity}.private_available")),
+        }
+    }
+
+    /// Mirror one accounting step: current usage, remaining budget, and a
+    /// ratcheting peak (a process-level high-water mark — it survives
+    /// `reset_accounting`, unlike the per-enclave metrics peak).
+    fn update(&self, in_use: usize, budget: usize) {
+        self.in_use.set(in_use as i64);
+        self.available.set(budget.saturating_sub(in_use) as i64);
+        self.peak.set_max(in_use as i64);
+    }
+}
+
 /// A simulated SGX enclave: a private-memory budget, boundary accounting and
 /// an access trace, plus an identity (measurement) for attestation.
 #[derive(Clone)]
@@ -114,6 +149,7 @@ pub struct Enclave {
     config: EnclaveConfig,
     measurement: [u8; 32],
     state: Arc<Mutex<EnclaveState>>,
+    gauges: EpcGauges,
 }
 
 impl fmt::Debug for Enclave {
@@ -129,6 +165,7 @@ impl Enclave {
     /// Launches an enclave with the given configuration.
     pub fn new(config: EnclaveConfig) -> Self {
         let measurement = sha256(config.code_identity.as_bytes());
+        let gauges = EpcGauges::for_instance("enclave", &config.code_identity);
         Self {
             config,
             measurement,
@@ -136,6 +173,7 @@ impl Enclave {
                 metrics: EnclaveMetrics::default(),
                 trace: Vec::new(),
             })),
+            gauges,
         }
     }
 
@@ -170,6 +208,10 @@ impl Enclave {
         }
         state.metrics.private_in_use += bytes;
         state.metrics.private_peak = state.metrics.private_peak.max(state.metrics.private_in_use);
+        self.gauges.update(
+            state.metrics.private_in_use,
+            self.config.private_memory_bytes,
+        );
         Ok(())
     }
 
@@ -180,6 +222,10 @@ impl Enclave {
             return Err(EnclaveError::ReleaseUnderflow);
         }
         state.metrics.private_in_use -= bytes;
+        self.gauges.update(
+            state.metrics.private_in_use,
+            self.config.private_memory_bytes,
+        );
         Ok(())
     }
 
@@ -269,12 +315,14 @@ impl Enclave {
     pub fn split_budget(&self, workers: usize) -> Vec<EnclaveWorker> {
         assert!(workers > 0, "an enclave needs at least one worker");
         let sub_budget = self.private_available() / workers;
+        let gauges = EpcGauges::for_instance("worker", &self.config.code_identity);
         (0..workers)
             .map(|_| EnclaveWorker {
                 enclave: self.clone(),
                 budget: sub_budget,
                 in_use: 0,
                 peak: 0,
+                gauges: gauges.clone(),
             })
             .collect()
     }
@@ -295,6 +343,7 @@ pub struct EnclaveWorker {
     budget: usize,
     in_use: usize,
     peak: usize,
+    gauges: EpcGauges,
 }
 
 impl EnclaveWorker {
@@ -332,6 +381,7 @@ impl EnclaveWorker {
         self.enclave.charge_private(bytes)?;
         self.in_use += bytes;
         self.peak = self.peak.max(self.in_use);
+        self.gauges.update(self.in_use, self.budget);
         Ok(())
     }
 
@@ -342,6 +392,7 @@ impl EnclaveWorker {
         }
         self.enclave.release_private(bytes)?;
         self.in_use -= bytes;
+        self.gauges.update(self.in_use, self.budget);
         Ok(())
     }
 

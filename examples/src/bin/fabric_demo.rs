@@ -384,6 +384,38 @@ fn drive() {
     assert_eq!(router_stats.routed, submitted);
     assert_eq!(router_stats.forward_failures, 0);
 
+    // Each shard collector is still live: ask it for its telemetry
+    // snapshot over the wire (the STATS request) and check the obs
+    // counters agree with what the driver routed to it.
+    let mut obs_accepted = 0u64;
+    for (index, &addr) in collector_addrs.iter().enumerate() {
+        let mut stats_client = CollectorClient::connect(addr).expect("dial shard for stats");
+        let entries = stats_client.stats().expect("shard STATS");
+        let get = |name: &str| {
+            entries
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0.0, |(_, v)| *v)
+        };
+        let accepted = get("collector.ingest.accepted");
+        println!(
+            "shard {index} live obs: {} accepted, {} submit spans, \
+             {} metrics exported",
+            accepted,
+            get("collector.ingest.submit.count"),
+            entries.len(),
+        );
+        obs_accepted += accepted as u64;
+    }
+    // Shard processes inherit PROCHLO_OBS from this environment, so the
+    // driver's own enabled flag tells us whether their counters ran.
+    if prochlo_obs::global().is_enabled() {
+        assert_eq!(
+            obs_accepted, submitted,
+            "wire STATS counters must account for every routed report"
+        );
+    }
+
     // Phase B: shut the shards down sequentially in shard order — the same
     // order Shuffler 1 serves them — and merge their summaries in order.
     let mut merged = AnalyzerDatabase::default();
@@ -403,13 +435,6 @@ fn drive() {
         .recv()
         .expect("shard summary");
         assert_eq!(summary.shard, index);
-        println!(
-            "shard {index}: {} received -> {} forwarded, {} crowds kept of {}",
-            summary.stats.received,
-            summary.stats.forwarded,
-            summary.stats.crowds_forwarded,
-            summary.stats.crowds_seen,
-        );
         merged.merge_from(&AnalyzerDatabase::from_rows(summary.rows.clone()));
         shard_stats.push(summary.stats.clone());
         shard.wait();
@@ -458,5 +483,12 @@ fn drive() {
         totals.dropped_threshold,
     );
     println!("canonical histogram: {wire_hex}");
+
+    // The driver's own telemetry: router throughput plus every fabric
+    // channel it touched (per-peer frame and byte counters). The shard
+    // per-epoch detail was already fetched live via the STATS request
+    // above, so no ad-hoc printing is needed here.
+    println!("\ndriver observability snapshot:");
+    print!("{}", prochlo_obs::snapshot().render_table());
     println!("PASS: distributed run matches the in-process reference");
 }

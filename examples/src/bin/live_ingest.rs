@@ -70,22 +70,24 @@ fn main() {
             Ok(report) => {
                 let s = &report.shuffler_stats;
                 println!(
-                    "  epoch {}: {} reports -> {} forwarded, {} crowds kept of {} \
-                     [{}: peel {:.1}ms | threshold {:.1}ms | shuffle {:.1}ms]",
+                    "  epoch {}: {} reports -> {} forwarded, {} crowds kept of {} [{}]",
                     epoch.index,
                     epoch.reports,
                     s.forwarded,
                     s.crowds_forwarded,
                     s.crowds_seen,
                     s.backend,
-                    s.timings.peel_seconds * 1e3,
-                    s.timings.threshold_seconds * 1e3,
-                    s.timings.shuffle_seconds * 1e3,
                 );
             }
             Err(e) => println!("  epoch {}: failed: {e}", epoch.index),
         }
     }
+
+    // Per-phase timing now lives on the process-wide telemetry registry:
+    // one table covers ingest submit latency, epoch processing, and the
+    // shuffler phase spans that used to be hand-printed per epoch.
+    println!("\nobservability snapshot (PROCHLO_OBS=0 disables collection):");
+    print!("{}", prochlo_obs::snapshot().render_table());
 
     // The analytic price of the selected backend, projected at this run's
     // record count and at paper scale (§4.1.3's comparison metric). Both

@@ -48,7 +48,8 @@ fn stats(seed: u64, backend: &'static str) -> ShufflerStats {
             peel_seconds: rng.gen::<f64>(),
             threshold_seconds: rng.gen::<f64>(),
             shuffle_seconds: rng.gen::<f64>(),
-        },
+        }
+        .into(),
     }
 }
 

@@ -120,8 +120,12 @@ fn different_backends_agree_on_the_histogram_for_the_same_seed() {
 #[test]
 fn phase_timings_are_populated_and_excluded_from_equality() {
     let (_, stats) = seeded_run(&ShuffleBackend::Trusted, 2);
-    // 264 hybrid decryptions cannot take zero time.
-    assert!(stats.timings.peel_seconds > 0.0);
+    // Phase timings come from obs spans now, so they read zero when the
+    // registry is disabled (the PROCHLO_OBS=0 CI leg).
+    if prochlo_obs::global().is_enabled() {
+        // 264 hybrid decryptions cannot take zero time.
+        assert!(stats.timings.peel_seconds > 0.0);
+    }
     assert!(stats.timings.total_seconds() >= stats.timings.peel_seconds);
 
     let mut other = stats.clone();
