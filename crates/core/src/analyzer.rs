@@ -86,13 +86,34 @@ impl Analyzer {
             exec::CHUNK_RECORDS,
             |_chunk_idx, chunk| {
                 let span = prochlo_obs::span("analyzer.decrypt.chunk");
-                let payloads = chunk
+                // Parse the wire encodings first so the whole chunk's hybrid
+                // opens run as one batch: the ECDH shared points are then
+                // normalized with a single field inversion per chunk.
+                let mut parseable = Vec::with_capacity(chunk.len());
+                let mut valid = Vec::with_capacity(chunk.len());
+                for item in chunk {
+                    match HybridCiphertext::from_bytes(item) {
+                        Ok(ct) => {
+                            parseable.push(true);
+                            valid.push(ct);
+                        }
+                        Err(_) => parseable.push(false),
+                    }
+                }
+                let crypto_span = prochlo_obs::span("crypto.open.batch");
+                let opened = HybridCiphertext::open_batch(&valid, self.keys.secret(), ANALYZER_AAD);
+                crypto_span.finish();
+                let mut opened_iter = opened.into_iter();
+                let payloads = parseable
                     .iter()
-                    .map(|item| {
-                        HybridCiphertext::from_bytes(item)
-                            .ok()
-                            .and_then(|ct| ct.open(self.keys.secret(), ANALYZER_AAD).ok())
-                            .and_then(|bytes| AnalyzerPayload::from_bytes(&bytes).ok())
+                    .map(|ok| {
+                        // One opened slot per parseable item keeps the
+                        // iterator aligned with `valid`.
+                        if !ok {
+                            return None;
+                        }
+                        let bytes = opened_iter.next().expect("one result per ciphertext")?;
+                        AnalyzerPayload::from_bytes(&bytes).ok()
                     })
                     .collect::<Vec<_>>();
                 span.finish();

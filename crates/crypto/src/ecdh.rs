@@ -24,9 +24,34 @@ pub struct EphemeralSecret {
 }
 
 /// A Diffie–Hellman public key.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// Caches the decompressed curve point next to the wire encoding: parsing
+/// validates (and pays the square-root decompression) exactly once, and
+/// every subsequent agreement reuses the point directly.
+#[derive(Clone, Copy)]
 pub struct PublicKey {
-    point: CompressedPoint,
+    point: Point,
+    compressed: CompressedPoint,
+}
+
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.compressed == other.compressed
+    }
+}
+
+impl Eq for PublicKey {}
+
+impl std::hash::Hash for PublicKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.compressed.as_bytes().hash(state);
+    }
+}
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("PublicKey").field(&self.compressed).finish()
+    }
 }
 
 impl std::fmt::Debug for StaticSecret {
@@ -41,17 +66,17 @@ impl std::fmt::Debug for EphemeralSecret {
     }
 }
 
+const DEGENERATE_SHARED: CryptoError =
+    CryptoError::InvalidParameter("degenerate Diffie-Hellman shared secret");
+
 fn derive_shared(
     secret: &Scalar,
     their_public: &PublicKey,
     info: &[u8],
 ) -> Result<[u8; 32], CryptoError> {
-    let their_point = their_public.point.decompress()?;
-    let shared_point = their_point.mul(secret);
+    let shared_point = their_public.point.mul(secret);
     if shared_point.is_identity() {
-        return Err(CryptoError::InvalidParameter(
-            "degenerate Diffie-Hellman shared secret",
-        ));
+        return Err(DEGENERATE_SHARED);
     }
     Ok(hkdf_key(
         b"prochlo-ecdh",
@@ -78,14 +103,38 @@ impl StaticSecret {
 
     /// The corresponding public key.
     pub fn public_key(&self) -> PublicKey {
-        PublicKey {
-            point: Point::mul_base(&self.secret).compress(),
-        }
+        PublicKey::from_point(Point::mul_base(&self.secret))
     }
 
     /// Computes the shared symmetric key with a peer's public key.
     pub fn agree(&self, their_public: &PublicKey, info: &[u8]) -> Result<[u8; 32], CryptoError> {
         derive_shared(&self.secret, their_public, info)
+    }
+
+    /// Computes shared symmetric keys with many peers at once.
+    ///
+    /// Result-for-result identical to calling [`Self::agree`] per peer with
+    /// the same `info` string, but the shared curve points are normalized
+    /// together through [`Point::batch_compress`], so the whole batch pays
+    /// one field inversion instead of one per peer.
+    pub fn agree_batch(
+        &self,
+        peers: &[PublicKey],
+        info: &[u8],
+    ) -> Vec<Result<[u8; 32], CryptoError>> {
+        let shared: Vec<Point> = peers.iter().map(|pk| pk.point.mul(&self.secret)).collect();
+        let compressed = Point::batch_compress(&shared);
+        shared
+            .iter()
+            .zip(compressed)
+            .map(|(point, c)| {
+                if point.is_identity() {
+                    Err(DEGENERATE_SHARED)
+                } else {
+                    Ok(hkdf_key(b"prochlo-ecdh", c.as_bytes(), info))
+                }
+            })
+            .collect()
     }
 
     /// Access to the raw scalar (needed by the El Gamal decryption path).
@@ -104,9 +153,7 @@ impl EphemeralSecret {
 
     /// The corresponding public key, to be transmitted with the ciphertext.
     pub fn public_key(&self) -> PublicKey {
-        PublicKey {
-            point: Point::mul_base(&self.secret).compress(),
-        }
+        PublicKey::from_point(Point::mul_base(&self.secret))
     }
 
     /// Computes the shared symmetric key with a peer's public key, consuming
@@ -117,22 +164,29 @@ impl EphemeralSecret {
 }
 
 impl PublicKey {
+    fn from_point(point: Point) -> Self {
+        Self {
+            compressed: point.compress(),
+            point,
+        }
+    }
+
     /// The compressed wire encoding.
     pub fn to_bytes(&self) -> [u8; 32] {
-        self.point.0
+        self.compressed.0
     }
 
     /// Parses a public key from its wire encoding.
     pub fn from_bytes(bytes: [u8; 32]) -> Result<Self, CryptoError> {
         let compressed = CompressedPoint(bytes);
-        // Validate eagerly so downstream users can assume well-formedness.
-        compressed.decompress()?;
-        Ok(Self { point: compressed })
+        // Validation and decompression are the same work; keep the point.
+        let point = compressed.decompress()?;
+        Ok(Self { point, compressed })
     }
 
     /// The underlying compressed point.
     pub fn compressed(&self) -> &CompressedPoint {
-        &self.point
+        &self.compressed
     }
 }
 
@@ -192,6 +246,24 @@ mod tests {
         let pk = a.public_key();
         let parsed = PublicKey::from_bytes(pk.to_bytes()).unwrap();
         assert_eq!(parsed, pk);
+    }
+
+    #[test]
+    fn agree_batch_matches_sequential_agreements() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let server = StaticSecret::random(&mut rng);
+        let peers: Vec<PublicKey> = (0..9)
+            .map(|_| StaticSecret::random(&mut rng).public_key())
+            .collect();
+        let batch = server.agree_batch(&peers, b"layer");
+        assert_eq!(batch.len(), peers.len());
+        for (peer, key) in peers.iter().zip(&batch) {
+            assert_eq!(
+                key.as_ref().unwrap(),
+                &server.agree(peer, b"layer").unwrap()
+            );
+        }
+        assert!(server.agree_batch(&[], b"layer").is_empty());
     }
 
     #[test]

@@ -89,6 +89,41 @@ impl HybridCiphertext {
         aead::open(&key, &self.nonce, aad, &self.sealed)
     }
 
+    /// Decrypts many layers with the same recipient secret and `aad`.
+    ///
+    /// Per-item results are identical to [`Self::open`] (`None` wherever it
+    /// would return any error), but the Diffie–Hellman shared points for the
+    /// whole batch are normalized together via
+    /// [`StaticSecret::agree_batch`], amortizing the field inversion that
+    /// each individual agreement would otherwise pay during compression.
+    pub fn open_batch(
+        items: &[Self],
+        recipient: &StaticSecret,
+        aad: &[u8],
+    ) -> Vec<Option<Vec<u8>>> {
+        // Parse all ephemerals first; undecodable ones are sieved out so the
+        // batch agreement runs only over valid keys.
+        let ephemerals: Vec<Option<PublicKey>> = items
+            .iter()
+            .map(|item| PublicKey::from_bytes(item.ephemeral).ok())
+            .collect();
+        let valid: Vec<PublicKey> = ephemerals.iter().filter_map(|pk| *pk).collect();
+        let keys = recipient.agree_batch(&valid, b"prochlo-hybrid-v1");
+        let mut key_iter = keys.into_iter();
+        items
+            .iter()
+            .zip(&ephemerals)
+            .map(|(item, ephemeral)| {
+                // Keys exist only for parseable ephemerals, so consuming one
+                // per `Some` keeps the iterator aligned with `valid`.
+                ephemeral.as_ref()?;
+                let key_bytes = key_iter.next().expect("one key per valid ephemeral").ok()?;
+                let key = AeadKey::from_bytes(key_bytes);
+                aead::open(&key, &item.nonce, aad, &item.sealed).ok()
+            })
+            .collect()
+    }
+
     /// Serializes to a flat byte string (`ephemeral || nonce || sealed`).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(32 + aead::NONCE_LEN + self.sealed.len());
@@ -209,6 +244,39 @@ mod tests {
         let b = HybridCiphertext::seal(&mut rng, recipient.public_key(), b"", b"same").unwrap();
         assert_ne!(a.ephemeral, b.ephemeral);
         assert_ne!(a.sealed, b.sealed);
+    }
+
+    #[test]
+    fn open_batch_matches_per_item_open() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let recipient = HybridKeypair::generate(&mut rng);
+        let other = HybridKeypair::generate(&mut rng);
+        let mut items: Vec<HybridCiphertext> = (0..6)
+            .map(|i| {
+                HybridCiphertext::seal(
+                    &mut rng,
+                    recipient.public_key(),
+                    b"role",
+                    format!("payload-{i}").as_bytes(),
+                )
+                .unwrap()
+            })
+            .collect();
+        // A garbage ephemeral key, a wrong-recipient layer, and a corrupted
+        // tag must each come back `None` without disturbing their neighbors.
+        items[1].ephemeral = [0x11; 32];
+        items[3] = HybridCiphertext::seal(&mut rng, other.public_key(), b"role", b"x").unwrap();
+        let last = items.last_mut().unwrap();
+        let flip = last.sealed.len() - 1;
+        last.sealed[flip] ^= 1;
+
+        let batch = HybridCiphertext::open_batch(&items, recipient.secret(), b"role");
+        assert_eq!(batch.len(), items.len());
+        for (item, opened) in items.iter().zip(&batch) {
+            assert_eq!(*opened, item.open(recipient.secret(), b"role").ok());
+        }
+        assert_eq!(batch.iter().filter(|o| o.is_some()).count(), 3);
+        assert!(HybridCiphertext::open_batch(&[], recipient.secret(), b"role").is_empty());
     }
 
     #[test]

@@ -176,6 +176,15 @@ fn pipeline_output_is_identical_with_obs_on_and_off() {
 
     global.set_enabled(true);
     let on = run_live_ingest(0x0b50ff, 3, 200, config());
+    // The recorded run drove the analyzer's batched hybrid-open path: its
+    // `crypto.open.batch` histogram (the sibling of the decrypt-chunk span,
+    // which breaks per-epoch crypto time out of flight records) fired at
+    // least once into the global registry.
+    let crypto_batches = global
+        .snapshot()
+        .get("crypto.open.batch")
+        .expect("crypto.open.batch histogram must be recorded");
+    assert!(crypto_batches >= 1.0, "got {crypto_batches}");
     global.set_enabled(false);
     let off = run_live_ingest(0x0b50ff, 3, 200, config());
     global.set_enabled(initially_enabled);
