@@ -104,10 +104,7 @@ fn bench_crypto(c: &mut Criterion) {
 /// vendored harness cannot hand measurements back, so the BENCHJSON pass
 /// re-times the hot paths itself.
 fn measure_ns<O, F: FnMut() -> O>(mut routine: F) -> f64 {
-    let budget_millis: u64 = std::env::var("CRITERION_SAMPLE_MILLIS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(40);
+    let budget_millis = prochlo_bench::env_usize("CRITERION_SAMPLE_MILLIS", 40) as u64;
     for _ in 0..3 {
         black_box(routine());
     }

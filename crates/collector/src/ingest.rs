@@ -243,6 +243,7 @@ impl IngestCore {
             client_label: peer.to_string(),
             arrival_order: self.arrival.fetch_add(1, Ordering::Relaxed),
             source_ip,
+            // prochlo-lint: allow(wallclock-discipline, "transport metadata only: the shuffler strips this timestamp before analysis, so it never steers seeded replay")
             timestamp_secs: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
                 .map(|d| d.as_secs())

@@ -114,9 +114,11 @@ impl<T> BoundedQueue<T> {
     /// deadline passed with nothing queued (or the queue is closed and dry).
     pub fn drain_when(&self, target: usize, timeout: Duration) -> Vec<T> {
         let target = target.max(1);
+        // prochlo-lint: allow(wallclock-discipline, "functional count-or-deadline primitive: the deadline cuts batches, it never orders reports")
         let deadline = Instant::now() + timeout;
         let mut state = self.state.lock();
         while state.items.len() < target && !state.closed {
+            // prochlo-lint: allow(wallclock-discipline, "remaining-wait computation for the same batch-cut deadline as above")
             let now = Instant::now();
             if now >= deadline {
                 break;

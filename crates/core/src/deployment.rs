@@ -756,6 +756,7 @@ impl ShardedDeployment {
             })
             .collect::<Result<_, PipelineError>>()?;
         let outcomes: Vec<Option<Result<PipelineReport, PipelineError>>> =
+            // prochlo-lint: allow(thread-spawn-discipline, "deterministic fan-out: one scoped worker per shard with a seeded batch each, joined in shard order")
             std::thread::scope(|scope| {
                 let workers: Vec<_> = self
                     .shards

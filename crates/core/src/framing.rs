@@ -172,6 +172,7 @@ impl<R: Read + ?Sized> FrameRead for R {
         }
         let mut frame = vec![0u8; len];
         self.read_exact(&mut frame)?;
+        // prochlo-lint: allow(panic-on-wire, "bounds proven: len >= 2 is checked above and read_exact filled the whole frame")
         if frame[0] != policy.version {
             return Err(FrameError::Protocol("unsupported protocol version"));
         }

@@ -1,0 +1,29 @@
+//! Environment knobs owned by this crate.
+//!
+//! Every `std::env::var` read in `prochlo-core` lives in this module so the
+//! knob inventory stays auditable in one place (the thread-count knob is
+//! owned by [`prochlo_shuffle::exec`] and only re-exported here). The
+//! `env-knob-discipline` rule of `prochlo-lint` enforces this: an
+//! environment read anywhere else in the crate is a finding.
+
+use crate::error::PipelineError;
+
+/// Environment variable selecting the shuffle backend by name
+/// (case-insensitive; see [`crate::shuffler::ShuffleBackend::from_name`]).
+pub const SHUFFLE_BACKEND_ENV: &str = "PROCHLO_SHUFFLE_BACKEND";
+
+/// Reads [`SHUFFLE_BACKEND_ENV`]: `Ok(None)` when the variable is unset,
+/// `Ok(Some(value))` when set to a decodable value.
+///
+/// A set-but-undecodable value is still a selection the operator made;
+/// treating it as unset would silently downgrade to the default backend,
+/// so it is a hard [`PipelineError::UnknownBackend`].
+pub fn shuffle_backend() -> Result<Option<String>, PipelineError> {
+    match std::env::var(SHUFFLE_BACKEND_ENV) {
+        Ok(value) => Ok(Some(value)),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => Err(PipelineError::UnknownBackend {
+            name: raw.to_string_lossy().into_owned(),
+        }),
+    }
+}

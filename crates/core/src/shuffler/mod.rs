@@ -79,25 +79,18 @@ pub struct EngineConfig {
 
 impl EngineConfig {
     /// Builds an engine configuration from the environment:
-    /// `PROCHLO_SHUFFLE_BACKEND` selects the backend by name (default
-    /// `trusted`) and `num_threads` is left at `0` so the thread knob is
-    /// still parsed in its one place, [`crate::exec::shuffle_threads_from_env`].
+    /// [`crate::knobs::SHUFFLE_BACKEND_ENV`] selects the backend by name
+    /// (default `trusted`) and `num_threads` is left at `0` so the thread
+    /// knob is still parsed in its one place,
+    /// [`crate::exec::shuffle_threads_from_env`].
     ///
     /// An unrecognized backend name is a hard error
     /// ([`PipelineError::UnknownBackend`], listing every valid name):
     /// silently downgrading a typo'd `stash` to the non-oblivious trusted
-    /// engine would drop the very property the operator asked for.
+    /// engine would drop the very property the operator asked for. The
+    /// environment read itself lives in [`crate::knobs`].
     pub fn from_env() -> Result<Self, PipelineError> {
-        match std::env::var("PROCHLO_SHUFFLE_BACKEND") {
-            Ok(name) => Self::from_backend_value(Some(&name)),
-            Err(std::env::VarError::NotPresent) => Self::from_backend_value(None),
-            // A set-but-undecodable value is still a selection the operator
-            // made; treating it as unset would silently downgrade to the
-            // default backend.
-            Err(std::env::VarError::NotUnicode(raw)) => Err(PipelineError::UnknownBackend {
-                name: raw.to_string_lossy().into_owned(),
-            }),
-        }
+        Self::from_backend_value(crate::knobs::shuffle_backend()?.as_deref())
     }
 
     /// Interprets one `PROCHLO_SHUFFLE_BACKEND`-style value: absent means
@@ -522,6 +515,7 @@ impl Shuffler {
 
         // Preserve nothing about arrival order when collecting survivors.
         keep.sort_unstable();
+        // prochlo-lint: allow(determinism-hash-iter, "membership set only: never iterated, so hash order cannot leak into the output")
         let keep_set: std::collections::HashSet<usize> = keep.into_iter().collect();
         Ok(envelopes
             .into_iter()

@@ -222,6 +222,7 @@ impl ShufflerTwo {
         stats.timings.threshold_seconds = threshold_span.finish();
 
         let shuffle_span = prochlo_obs::span("shuffler.s2.shuffle");
+        // prochlo-lint: allow(determinism-hash-iter, "membership set only: never iterated, so hash order cannot leak into the output")
         let keep_set: std::collections::HashSet<usize> = keep.into_iter().collect();
         let mut survivors: Vec<Vec<u8>> = inners
             .into_iter()

@@ -54,6 +54,7 @@ impl<'a> Reader<'a> {
         if self.remaining() < len {
             return Err(PipelineError::MalformedReport("truncated field"));
         }
+        // prochlo-lint: allow(panic-on-wire, "bounds proven: remaining() >= len is checked on the line above")
         let slice = &self.bytes[self.offset..self.offset + len];
         self.offset += len;
         Ok(slice)
@@ -61,12 +62,14 @@ impl<'a> Reader<'a> {
 
     /// Reads a `u8`.
     pub fn get_u8(&mut self) -> Result<u8, PipelineError> {
+        // prochlo-lint: allow(panic-on-wire, "bounds proven: take(1) only succeeds with exactly one byte")
         Ok(self.take(1)?[0])
     }
 
     /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, PipelineError> {
         let bytes = self.take(4)?;
+        // prochlo-lint: allow(panic-on-wire, "bounds proven: take(4) only succeeds with exactly four bytes")
         Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
     }
 
@@ -115,6 +118,7 @@ pub fn unpad_payload(padded: &[u8]) -> Result<Vec<u8>, PipelineError> {
             "padding length out of range",
         ));
     }
+    // prochlo-lint: allow(panic-on-wire, "bounds proven: len <= padded.len() - 4 is checked above")
     Ok(padded[4..4 + len].to_vec())
 }
 

@@ -21,8 +21,18 @@ pub const NONCE_LEN: usize = chacha20::NONCE_LEN;
 pub const TAG_LEN: usize = 16;
 
 /// A 256-bit AEAD key.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct AeadKey([u8; KEY_LEN]);
+
+/// Constant-shape equality via [`ct_eq`]: comparing key material with a
+/// derived `PartialEq` would exit at the first differing byte.
+impl PartialEq for AeadKey {
+    fn eq(&self, other: &AeadKey) -> bool {
+        ct_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for AeadKey {}
 
 impl AeadKey {
     /// Wraps raw key bytes.
@@ -117,6 +127,24 @@ mod tests {
 
     fn key() -> AeadKey {
         AeadKey::from_bytes([42u8; KEY_LEN])
+    }
+
+    #[test]
+    fn key_eq_has_constant_comparison_shape() {
+        // AeadKey equality routes through ct_eq: every byte of the key
+        // participates in the verdict, so a comparison can never exit
+        // early and leak the length of the matching prefix.
+        let base = key();
+        assert_eq!(base, base.clone());
+        for i in 0..KEY_LEN {
+            let mut bytes = *base.as_bytes();
+            bytes[i] ^= 0x80;
+            assert_ne!(
+                base,
+                AeadKey::from_bytes(bytes),
+                "byte {i} must participate in the comparison"
+            );
+        }
     }
 
     #[test]

@@ -25,8 +25,22 @@ const L: [u64; 4] = [
 
 /// An integer modulo ℓ, stored as four little-endian 64-bit limbs, always
 /// fully reduced.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy)]
 pub struct Scalar([u64; 4]);
+
+/// Equality is constant-shape: scalars are always fully reduced, so the
+/// canonical 32-byte encodings are equal iff the scalars are, and
+/// [`crate::util::ct_eq`] touches every byte regardless of where they
+/// first differ. Scalars are Diffie–Hellman private keys and blinding
+/// exponents; a derived `PartialEq` would short-circuit at the first
+/// differing limb and leak match length through timing.
+impl PartialEq for Scalar {
+    fn eq(&self, other: &Scalar) -> bool {
+        crate::util::ct_eq(&self.to_bytes(), &other.to_bytes())
+    }
+}
+
+impl Eq for Scalar {}
 
 impl std::fmt::Debug for Scalar {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -298,6 +312,37 @@ mod tests {
         let c = Scalar::hash_from_bytes(&[b"a", b"bc"]);
         assert_eq!(a, b);
         assert_ne!(a, c, "length framing must separate part boundaries");
+    }
+
+    #[test]
+    fn eq_has_constant_comparison_shape() {
+        // `Scalar::eq` routes through `ct_eq` on the canonical encoding.
+        // The timing shape cannot be measured reliably in a unit test, but
+        // it can be proven structurally: ct_eq's verdict is the OR of all
+        // byte XORs, so every byte position participates — flipping any
+        // single byte (first, last, or middle — exactly the positions an
+        // early-exit comparison would distinguish fastest/slowest) flips
+        // the verdict.
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Scalar::random(&mut rng);
+        let bytes = a.to_bytes();
+        for i in 0..32 {
+            let mut flipped = bytes;
+            flipped[i] ^= 0x01;
+            assert!(
+                !crate::util::ct_eq(&bytes, &flipped),
+                "byte {i} must participate in the comparison"
+            );
+        }
+        // And the ct_eq-backed equality still means value equality: the
+        // encoding is canonical (always fully reduced).
+        assert_eq!(Scalar::from_bytes_mod_order(&bytes), a);
+        assert_ne!(a.add(&Scalar::one()), a, "low-limb difference detected");
+        assert_ne!(
+            a.add(&Scalar::from_bytes_mod_order_wide(&[0xf0; 64])),
+            a,
+            "high-limb difference detected"
+        );
     }
 
     #[test]

@@ -121,20 +121,23 @@ fn decode_stats(reader: &mut Reader<'_>) -> Result<ShufflerStats, FabricError> {
     for value in &mut seconds {
         *value = f64::from_bits(get_u64(reader, "truncated stats timing")?);
     }
+    let [received, forwarded, dropped_noise, dropped_threshold, rejected, crowds_seen, crowds_forwarded, shuffle_attempts] =
+        counts;
+    let [peel_seconds, threshold_seconds, shuffle_seconds] = seconds;
     Ok(ShufflerStats {
-        received: counts[0],
-        forwarded: counts[1],
-        dropped_noise: counts[2],
-        dropped_threshold: counts[3],
-        rejected: counts[4],
-        crowds_seen: counts[5],
-        crowds_forwarded: counts[6],
-        shuffle_attempts: counts[7],
+        received,
+        forwarded,
+        dropped_noise,
+        dropped_threshold,
+        rejected,
+        crowds_seen,
+        crowds_forwarded,
+        shuffle_attempts,
         backend,
         timings: PhaseTimings {
-            peel_seconds: seconds[0],
-            threshold_seconds: seconds[1],
-            shuffle_seconds: seconds[2],
+            peel_seconds,
+            threshold_seconds,
+            shuffle_seconds,
         }
         .into(),
     })
@@ -281,6 +284,7 @@ impl WireMessage for BatchToTwo {
         put_u64(&mut out, self.epoch_index);
         put_u64(&mut out, self.s2_seed);
         put_u64(&mut out, self.received as u64);
+        // prochlo-lint: allow(panic-on-wire, "encode path: serializing our own in-memory stats, no peer-controlled bytes involved")
         encode_stats(&mut out, &self.stage_one).expect("split stage stats always encode");
         put_u32(&mut out, self.records.len() as u32);
         for (crowd, inner) in &self.records {
@@ -348,7 +352,9 @@ impl WireMessage for ItemsBatch {
         put_u32(&mut out, u32::from(self.shard));
         put_u64(&mut out, self.epoch_index);
         put_u64(&mut out, self.received as u64);
+        // prochlo-lint: allow(panic-on-wire, "encode path: serializing our own in-memory stats, no peer-controlled bytes involved")
         encode_stats(&mut out, &self.stage_one).expect("split stage stats always encode");
+        // prochlo-lint: allow(panic-on-wire, "encode path: serializing our own in-memory stats, no peer-controlled bytes involved")
         encode_stats(&mut out, &self.stage_two).expect("split stage stats always encode");
         put_u32(&mut out, self.items.len() as u32);
         for item in &self.items {
@@ -482,6 +488,7 @@ impl WireMessage for ShardSummary {
         put_u64(&mut out, self.pending_secret_groups as u64);
         put_u64(&mut out, self.pending_secret_reports as u64);
         put_u64(&mut out, self.recovered_secrets as u64);
+        // prochlo-lint: allow(panic-on-wire, "encode path: serializing our own in-memory stats, no peer-controlled bytes involved")
         encode_stats(&mut out, &self.stats).expect("split stage stats always encode");
         put_u32(&mut out, self.rows.len() as u32);
         for row in &self.rows {

@@ -1,0 +1,93 @@
+//! The `prochlo-lint` binary: lint the workspace, print findings, and
+//! (with `--deny`) fail the build on any.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use prochlo_lint::{lint_workspace, RULES};
+
+const USAGE: &str = "usage: prochlo-lint [--deny] [--root <dir>] [--list-rules]
+
+Lints the Prochlo workspace's production sources against the project's
+privacy invariants. Findings print to stdout as `file:line rule message`.
+
+  --deny         exit non-zero when any finding is reported (CI mode)
+  --root <dir>   workspace root (default: nearest ancestor with Cargo.toml
+                 declaring [workspace])
+  --list-rules   print the rule table and exit";
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for rule in RULES {
+                    println!("{:24} {}", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("prochlo-lint: no workspace root found (try --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match lint_workspace(&root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("prochlo-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        eprintln!("prochlo-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("prochlo-lint: {} finding(s)", findings.len());
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

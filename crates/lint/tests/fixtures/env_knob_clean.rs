@@ -1,0 +1,3 @@
+pub fn backend(raw: Option<&str>) -> Option<String> {
+    raw.map(str::to_owned)
+}

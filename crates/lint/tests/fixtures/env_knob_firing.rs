@@ -1,0 +1,3 @@
+pub fn backend() -> Option<String> {
+    std::env::var("PROCHLO_FIXTURE_KNOB").ok()
+}

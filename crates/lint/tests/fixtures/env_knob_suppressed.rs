@@ -1,0 +1,4 @@
+pub fn backend() -> Option<String> {
+    // prochlo-lint: allow(env-knob-discipline, "fixture: demonstrates a justified one-off read")
+    std::env::var("PROCHLO_FIXTURE_KNOB").ok()
+}

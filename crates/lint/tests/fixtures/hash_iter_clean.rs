@@ -1,0 +1,4 @@
+pub fn dedup(xs: &[u64]) -> usize {
+    let set: std::collections::BTreeSet<u64> = xs.iter().copied().collect();
+    set.len()
+}

@@ -1,0 +1,5 @@
+pub fn dedup(xs: &[u64]) -> usize {
+    // prochlo-lint: allow(determinism-hash-iter, "membership set only: never iterated")
+    let set: std::collections::HashSet<u64> = xs.iter().copied().collect();
+    set.len()
+}

@@ -1,0 +1,7 @@
+pub fn decode(bytes: &[u8]) -> Result<u8, &'static str> {
+    let first = bytes.first().copied().ok_or("truncated")?;
+    if first > 7 {
+        return Err("bad version");
+    }
+    Ok(first)
+}

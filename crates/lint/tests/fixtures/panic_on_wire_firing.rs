@@ -1,0 +1,8 @@
+pub fn decode(bytes: &[u8]) -> u8 {
+    let first = bytes[0];
+    let second = bytes.get(1).copied().unwrap();
+    if first > 7 {
+        panic!("bad version");
+    }
+    second
+}

@@ -1,0 +1,7 @@
+pub fn decode(bytes: &[u8]) -> u8 {
+    if bytes.is_empty() {
+        return 0;
+    }
+    // prochlo-lint: allow(panic-on-wire, "bounds proven: non-empty checked above")
+    bytes[0]
+}

@@ -1,0 +1,11 @@
+#[derive(Clone)]
+pub struct AeadKey([u8; 32]);
+
+impl PartialEq for AeadKey {
+    fn eq(&self, other: &AeadKey) -> bool {
+        ct_eq(&self.0, &other.0)
+    }
+}
+
+#[derive(Clone, PartialEq)]
+pub struct PublicLabel(String);

@@ -1,0 +1,2 @@
+#[derive(Clone, PartialEq)]
+pub struct AeadKey([u8; 32]);

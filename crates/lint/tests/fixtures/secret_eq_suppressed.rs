@@ -1,0 +1,3 @@
+// prochlo-lint: allow(secret-eq, "fixture: a deliberately derived comparison")
+#[derive(Clone, PartialEq)]
+pub struct AeadKey([u8; 32]);

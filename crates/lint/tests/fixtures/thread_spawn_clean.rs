@@ -1,0 +1,3 @@
+pub fn fan_out(work: impl Fn() -> u64) -> u64 {
+    work()
+}

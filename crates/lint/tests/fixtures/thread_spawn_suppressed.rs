@@ -1,0 +1,5 @@
+pub fn fan_out() {
+    // prochlo-lint: allow(thread-spawn-discipline, "fixture: deterministic join order")
+    let handle = std::thread::spawn(|| 7);
+    drop(handle);
+}

@@ -1,0 +1,3 @@
+pub fn stamp(epoch: u64) -> u64 {
+    epoch.wrapping_mul(2)
+}

@@ -1,0 +1,4 @@
+pub fn stamp() -> std::time::Instant {
+    // prochlo-lint: allow(wallclock-discipline, "fixture: functional deadline")
+    std::time::Instant::now()
+}

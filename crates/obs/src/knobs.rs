@@ -1,0 +1,37 @@
+//! Environment knobs owned by this crate.
+//!
+//! Every `std::env::var` read in `prochlo-obs` lives in this module so the
+//! knob inventory stays auditable in one place. The `env-knob-discipline`
+//! rule of `prochlo-lint` enforces this: an environment read anywhere else
+//! in the crate is a finding.
+//!
+//! Both knobs keep the workspace's invalid-knob convention: an unset knob
+//! picks the default, but a set-and-invalid knob is a hard error — the
+//! operator made a selection, and silently ignoring it would be worse than
+//! failing loudly.
+
+use crate::flight::OBS_PATH_ENV;
+use crate::OBS_ENV;
+
+/// Reads [`OBS_ENV`]: `true` (enabled) when unset; otherwise the value must
+/// be one of `1`/`on`/`true`/`yes` (or empty) for enabled or
+/// `0`/`off`/`false`/`no` for disabled. Anything else panics.
+pub(crate) fn registry_enabled() -> bool {
+    match std::env::var(OBS_ENV) {
+        Err(_) => true,
+        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "" | "1" | "on" | "true" | "yes" => true,
+            "0" | "off" | "false" | "no" => false,
+            other => panic!(
+                "{OBS_ENV}={other:?} is not a valid setting \
+                 (use 1/on/true or 0/off/false)"
+            ),
+        },
+    }
+}
+
+/// Reads [`OBS_PATH_ENV`]: `None` when unset, undecodable, or empty,
+/// otherwise the flight-recorder sink path.
+pub(crate) fn flight_path() -> Option<String> {
+    std::env::var(OBS_PATH_ENV).ok().filter(|p| !p.is_empty())
+}

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod flight;
+mod knobs;
 mod registry;
 mod snapshot;
 mod span;
@@ -77,26 +78,12 @@ use std::sync::OnceLock;
 /// Environment variable enabling/disabling the global registry.
 pub const OBS_ENV: &str = "PROCHLO_OBS";
 
-fn enabled_from_env() -> bool {
-    match std::env::var(OBS_ENV) {
-        Err(_) => true,
-        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
-            "" | "1" | "on" | "true" | "yes" => true,
-            "0" | "off" | "false" | "no" => false,
-            other => panic!(
-                "{OBS_ENV}={other:?} is not a valid setting \
-                 (use 1/on/true or 0/off/false)"
-            ),
-        },
-    }
-}
-
 /// The process-wide registry. Initialized on first use from
-/// [`OBS_ENV`]; tests that need isolation construct their own
-/// [`Registry`] instead.
+/// [`OBS_ENV`] (parsed in the crate's knob module); tests that need
+/// isolation construct their own [`Registry`] instead.
 pub fn global() -> &'static Arc<Registry> {
     static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
-    GLOBAL.get_or_init(|| Arc::new(Registry::new(enabled_from_env())))
+    GLOBAL.get_or_init(|| Arc::new(Registry::new(knobs::registry_enabled())))
 }
 
 /// Counter named `name` in the global registry.
