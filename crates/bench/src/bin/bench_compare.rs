@@ -6,9 +6,12 @@
 //! Each harness prints `BENCHJSON {"bench":...,"metric":...,"value":...}`
 //! lines (see `prochlo_bench::emit_metric`); this tool greps them back out
 //! of the teed output files and compares every metric present in the
-//! baseline. All metrics are throughputs: a drop below `--floor` (default
-//! 0.5) × baseline is a regression, a rise above `--ceiling` (default
-//! 1.5) × baseline is an improvement worth re-baselining. CI runners vary
+//! baseline. Metrics are throughputs unless the name ends in `_ms`
+//! (a latency): a throughput below `--floor` (default 0.5) × baseline is
+//! a regression, above `--ceiling` (default 1.5) × baseline an
+//! improvement worth re-baselining; a latency mirrors the band (above
+//! `baseline / floor` regresses, below `baseline / ceiling` improves).
+//! CI runners vary
 //! wildly between nights, so the default band is deliberately loose —
 //! and the tool always exits 0: annotations, not failures, are the
 //! interface (`::warning::` / `::notice::` lines surface on the workflow

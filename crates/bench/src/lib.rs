@@ -58,8 +58,9 @@ pub fn print_header(title: &str, columns: &[&str]) {
 ///
 /// The nightly workflow tees each harness's stdout to a file; the
 /// `bench_compare` binary greps these lines back out and compares them
-/// against the committed `BENCH_baseline.json`. Every metric is a
-/// throughput (higher is better).
+/// against the committed `BENCH_baseline.json`. Metrics are throughputs
+/// (higher is better) unless the name ends in `_ms` ([`lower_is_better`]),
+/// which marks a latency.
 pub fn emit_metric(bench: &str, metric: &str, value: f64) {
     println!("BENCHJSON {{\"bench\":\"{bench}\",\"metric\":\"{metric}\",\"value\":{value:.1}}}");
 }
@@ -147,10 +148,20 @@ pub struct Comparison {
     pub verdict: Verdict,
 }
 
-/// Compares every baseline metric against this run's measurements. All
-/// metrics are throughputs (higher is better): below `floor ×` baseline
-/// is [`Verdict::Regressed`], above `ceiling ×` baseline is
-/// [`Verdict::Improved`]. Results come back in baseline order.
+/// Whether smaller measurements of this metric are better. Latency
+/// metrics carry an `_ms` suffix by convention (the soak harness's
+/// `epoch_cut_p50_ms`); everything else is a throughput.
+pub fn lower_is_better(key: &str) -> bool {
+    key.ends_with("_ms")
+}
+
+/// Compares every baseline metric against this run's measurements.
+/// Throughput metrics (higher is better): below `floor ×` baseline is
+/// [`Verdict::Regressed`], above `ceiling ×` baseline is
+/// [`Verdict::Improved`]. Latency metrics ([`lower_is_better`], the `_ms`
+/// suffix) mirror the band: above `baseline / floor` regresses, below
+/// `baseline / ceiling` improves — the same tolerance, applied in the
+/// direction that hurts. Results come back in baseline order.
 pub fn compare_metrics(
     baseline: &[(String, f64)],
     measured: &[(String, f64)],
@@ -164,6 +175,9 @@ pub fn compare_metrics(
             let ratio = found.map(|actual| actual / expected);
             let verdict = match ratio {
                 None => Verdict::Missing,
+                Some(r) if lower_is_better(key) && r > 1.0 / floor => Verdict::Regressed,
+                Some(r) if lower_is_better(key) && r < 1.0 / ceiling => Verdict::Improved,
+                Some(_) if lower_is_better(key) => Verdict::Ok,
                 Some(r) if r < floor => Verdict::Regressed,
                 Some(r) if r > ceiling => Verdict::Improved,
                 Some(_) => Verdict::Ok,
@@ -269,6 +283,40 @@ mod tests {
         assert_eq!(tight[1].verdict, Verdict::Missing);
         let loose = compare_metrics(&baseline, &measured, 0.5, 1.5);
         assert_eq!(loose[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn latency_metrics_compare_in_the_lower_is_better_direction() {
+        let baseline = vec![
+            ("soak/epoch_cut_p50_ms".to_string(), 1000.0),
+            ("soak/reports_per_sec".to_string(), 1000.0),
+        ];
+        // Doubling a latency is fine at the loose default floor; tripling
+        // it regresses. The same 3× on a throughput is an improvement.
+        let slower = vec![
+            ("soak/epoch_cut_p50_ms".to_string(), 3000.0),
+            ("soak/reports_per_sec".to_string(), 3000.0),
+        ];
+        let out = compare_metrics(
+            &baseline,
+            &slower,
+            DEFAULT_REGRESSION_FLOOR,
+            DEFAULT_IMPROVEMENT_CEILING,
+        );
+        assert_eq!(out[0].verdict, Verdict::Regressed);
+        assert_eq!(out[1].verdict, Verdict::Improved);
+
+        // And a latency well under baseline is an improvement, not a
+        // regression.
+        let faster = vec![("soak/epoch_cut_p50_ms".to_string(), 400.0)];
+        let out = compare_metrics(
+            &baseline,
+            &faster,
+            DEFAULT_REGRESSION_FLOOR,
+            DEFAULT_IMPROVEMENT_CEILING,
+        );
+        assert_eq!(out[0].verdict, Verdict::Improved);
+        assert_eq!(out[1].verdict, Verdict::Missing);
     }
 
     #[test]

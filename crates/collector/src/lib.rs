@@ -23,8 +23,10 @@
 //! * [`protocol`] — the length-prefixed wire format and framed I/O.
 //! * [`queue`] — the bounded MPMC queue behind the backpressure contract.
 //! * [`dedup`] — the bounded, sharded nonce replay filter.
-//! * [`ingest`] — parse + dedup + enqueue, shared by workers and benches.
-//! * [`service`] — listener/worker/epoch threads and graceful shutdown.
+//! * [`ingest`] — parse + dedup + enqueue, shared by loops and benches.
+//! * [`service`] — reactor event loops, the epoch manager and graceful
+//!   shutdown.
+//! * [`knobs`] — the environment knobs this crate owns.
 //! * [`client`] — the [`ReportSink`] submission API: a minimal blocking
 //!   TCP client with retry, plus an in-process sink.
 //! * [`error`] — the service-boundary error type.
@@ -33,6 +35,7 @@ pub mod client;
 pub mod dedup;
 pub mod error;
 pub mod ingest;
+pub mod knobs;
 pub mod protocol;
 pub mod queue;
 pub mod service;

@@ -1,25 +1,30 @@
-//! The collector service: listener, protocol workers and the epoch manager.
+//! The collector service: reactor event loops and the epoch manager.
 //!
 //! Thread layout (all plain `std::thread`, no async runtime):
 //!
-//! * **accept** — owns the `TcpListener`; hands connections to a bounded
-//!   queue, or answers `RetryAfter` and hangs up when even that queue is
-//!   full (connection-level backpressure).
-//! * **workers** (N) — pop connections and speak the frame protocol:
-//!   parse, validate, dedup and enqueue each submission via [`IngestCore`].
-//!   A worker serves one connection at a time until the peer hangs up, so
-//!   clients beyond the pool size queue behind whole sessions; size the
-//!   pool for the expected connection concurrency (per-connection
-//!   multiplexing is a ROADMAP item).
+//! * **event loops** (N) — each owns a [`prochlo_net::Reactor`] and
+//!   multiplexes thousands of nonblocking connections: accept → register →
+//!   on-readable: incremental frame parse → [`IngestCore`] → queue the
+//!   response for writability. Loop 0 additionally owns the `TcpListener`
+//!   and deals fresh connections round-robin across all loops through
+//!   per-loop intake queues. A connection is one [`prochlo_net::Conn`]
+//!   state machine plus an optional [`TokenBucket`] rate limiter; a
+//!   connection that completes no frame within `io_timeout` is evicted by
+//!   the reactor's deadline sweep (slow-loris defense), and one that
+//!   out-runs its rate limit is answered with the same `RetryAfter`
+//!   backpressure the bounded queue uses.
 //! * **epoch** — owns the [`Deployment`]; drains the report queue with a
 //!   count-or-deadline policy and feeds each batch through an
 //!   [`prochlo_core::EpochSession`], which canonicalizes it and runs
 //!   shuffling + analysis under a deterministic [`EpochSpec`].
 //!
-//! Shutdown is graceful and ordered: stop accepting, let workers finish
-//! their connections, then close the report queue so the epoch manager
-//! drains every in-flight report into final epochs before exiting.
+//! Shutdown is graceful and ordered: set the flag and wake every loop,
+//! flush what the sockets will take, close the connections, then close the
+//! report queue so the epoch manager drains every in-flight report into
+//! final epochs before exiting. Acknowledged reports are by construction
+//! already in the queue, so none are lost.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,24 +33,41 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use prochlo_core::framing::{FrameError, FramePolicy};
 use prochlo_core::{
     AnalyzerDatabase, ClientReport, Deployment, EngineConfig, EpochSpec, PipelineError,
     PipelineReport,
 };
+use prochlo_net::reactor::Event;
+use prochlo_net::{Conn, ConnStatus, FlushStatus, Interest, Reactor, Token, TokenBucket, Waker};
 
 use crate::error::CollectorError;
 use crate::ingest::{IngestConfig, IngestCore, IngestStats};
-use crate::protocol::{read_frame, write_frame, Request, Response};
-use crate::queue::BoundedQueue;
+use crate::knobs;
+use crate::protocol::{frame_policy, write_frame, Request, Response};
+
+/// How long one reactor turn may block before re-checking the shutdown
+/// flag even without traffic, wakes, or deadlines.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Pending-write ceiling per connection: past this, the loop stops reading
+/// from the peer (read interest drops) until the backlog flushes, so one
+/// slow reader pipelining requests cannot balloon its response buffer.
+const WRITE_PAUSE_BYTES: usize = 256 << 10;
 
 /// Configuration of a running collector.
 #[derive(Debug, Clone)]
 pub struct CollectorConfig {
     /// Address to bind; port 0 picks an ephemeral port.
     pub addr: SocketAddr,
-    /// Protocol worker threads.
+    /// Event-loop threads, each multiplexing its share of the open
+    /// connections. `0` means auto: the `PROCHLO_COLLECTOR_EVENT_THREADS`
+    /// knob when set, otherwise every available core — matching the
+    /// `PROCHLO_SHUFFLE_THREADS` convention (and like every knob, a set-
+    /// but-invalid value is a hard startup error, never a silent default).
     pub worker_threads: usize,
-    /// Accepted connections waiting for a worker.
+    /// Maximum concurrently open connections across all event loops;
+    /// arrivals past the cap are answered `RetryAfter` and closed.
     pub conn_backlog: usize,
     /// Reports queued but not yet cut into an epoch (the memory bound).
     pub queue_capacity: usize,
@@ -61,8 +83,15 @@ pub struct CollectorConfig {
     pub max_report_len: usize,
     /// Nonces remembered for replay dedup.
     pub dedup_capacity: usize,
-    /// Per-connection read/write timeout.
+    /// Per-connection progress deadline: a connection that completes no
+    /// frame (and drains no pending response) for this long is evicted.
     pub io_timeout: Duration,
+    /// Per-connection submission rate limit in reports per second
+    /// (token bucket with a one-second burst). `None` defers to the
+    /// `PROCHLO_COLLECTOR_RATE_LIMIT` knob, whose absence means unlimited.
+    /// A limited connection is answered `RetryAfter`, the same structured
+    /// backpressure the bounded queue produces.
+    pub rate_limit_per_conn: Option<u32>,
     /// Deployment seed; with the epoch index it fixes every noise draw
     /// (see [`prochlo_core::epoch_rng`]).
     pub seed: u64,
@@ -93,6 +122,7 @@ impl Default for CollectorConfig {
             max_report_len: 16 << 10,
             dedup_capacity: 1 << 20,
             io_timeout: Duration::from_secs(10),
+            rate_limit_per_conn: None,
             seed: 0,
             engine: None,
             registry: None,
@@ -157,6 +187,10 @@ pub struct EpochResult {
     pub index: u64,
     /// Reports the epoch batch contained.
     pub reports: usize,
+    /// Wall-clock seconds the pipeline spent on the batch (the
+    /// `collector.epoch.process` span), the sample behind epoch-cut
+    /// latency percentiles. `0.0` when telemetry is disabled.
+    pub process_seconds: f64,
     /// The pipeline's output for the batch.
     pub outcome: Result<PipelineReport, PipelineError>,
 }
@@ -168,8 +202,11 @@ pub struct CollectorStats {
     pub ingest: IngestStats,
     /// Connections accepted.
     pub connections: u64,
-    /// Connections refused because the backlog queue was full.
+    /// Connections refused because the open-connection cap was reached.
     pub connections_refused: u64,
+    /// Connections evicted at the progress deadline (slow loris, stalled
+    /// readers).
+    pub connections_evicted: u64,
     /// Epochs cut so far.
     pub epochs_cut: u64,
     /// Reports handed to the pipeline across all epochs.
@@ -183,6 +220,8 @@ struct Shared {
     shutting_down: AtomicBool,
     connections: AtomicU64,
     connections_refused: AtomicU64,
+    connections_evicted: AtomicU64,
+    open_conns: AtomicU64,
     epochs_cut: AtomicU64,
     reports_processed: AtomicU64,
     epochs: Mutex<Vec<EpochResult>>,
@@ -194,6 +233,7 @@ impl Shared {
             ingest: self.ingest.stats(),
             connections: self.connections.load(Ordering::Relaxed),
             connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            connections_evicted: self.connections_evicted.load(Ordering::Relaxed),
             epochs_cut: self.epochs_cut.load(Ordering::Relaxed),
             reports_processed: self.reports_processed.load(Ordering::Relaxed),
         }
@@ -228,9 +268,8 @@ impl CollectorSummary {
 pub struct Collector {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    conn_queue: Arc<BoundedQueue<TcpStream>>,
-    accept_thread: JoinHandle<()>,
-    worker_threads: Vec<JoinHandle<()>>,
+    loop_wakers: Vec<Waker>,
+    loop_threads: Vec<JoinHandle<()>>,
     epoch_thread: JoinHandle<()>,
 }
 
@@ -251,12 +290,19 @@ impl Collector {
         config: CollectorConfig,
     ) -> Result<Self, CollectorError> {
         let listener = TcpListener::bind(config.addr)?;
-        // Accept by polling rather than blocking: the accept loop re-checks
-        // the shutdown flag between polls, so shutdown works for any bind
-        // address (a blocking accept would need a self-connect to wake up,
-        // which cannot reach e.g. an 0.0.0.0 bind on every platform).
+        // The listener joins loop 0's poll set; acceptance is just another
+        // readiness event.
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+
+        let event_threads = match config.worker_threads {
+            0 => knobs::event_threads()?,
+            n => n,
+        };
+        let rate_limit = match config.rate_limit_per_conn {
+            Some(limit) => Some(limit),
+            None => knobs::rate_limit()?,
+        };
 
         let registry = config
             .registry
@@ -275,36 +321,56 @@ impl Collector {
             shutting_down: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             connections_refused: AtomicU64::new(0),
+            connections_evicted: AtomicU64::new(0),
+            open_conns: AtomicU64::new(0),
             epochs_cut: AtomicU64::new(0),
             reports_processed: AtomicU64::new(0),
             epochs: Mutex::new(Vec::new()),
         });
-        let conn_queue = Arc::new(BoundedQueue::new(config.conn_backlog));
 
-        let accept_thread = {
-            let shared = Arc::clone(&shared);
-            let conn_queue = Arc::clone(&conn_queue);
-            let config = config.clone();
-            std::thread::Builder::new()
-                .name("collector-accept".to_string())
-                .spawn(move || accept_loop(listener, &shared, &conn_queue, &config))?
-        };
+        // Reactors are created on this thread so every loop's waker (and
+        // intake queue) exists before any loop runs; each reactor then
+        // moves into its loop thread.
+        let mut reactors = Vec::with_capacity(event_threads);
+        let mut intakes = Vec::with_capacity(event_threads);
+        for _ in 0..event_threads {
+            let reactor = Reactor::new()?;
+            intakes.push(Arc::new(LoopIntake {
+                waker: reactor.waker(),
+                queue: Mutex::new(VecDeque::new()),
+            }));
+            reactors.push(reactor);
+        }
+        let loop_wakers: Vec<Waker> = intakes.iter().map(|i| i.waker.clone()).collect();
 
-        let worker_threads = (0..config.worker_threads.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let conn_queue = Arc::clone(&conn_queue);
-                let config = config.clone();
+        let mut listener = Some(listener);
+        let loop_threads = reactors
+            .into_iter()
+            .enumerate()
+            .map(|(index, mut reactor)| {
+                let listener = listener.take().map(|l| {
+                    let token = reactor.register(&l, Interest::READ);
+                    (l, token)
+                });
+                let event_loop = EventLoop {
+                    index,
+                    reactor,
+                    policy: frame_policy(config.max_frame_len),
+                    listener,
+                    intake: Arc::clone(&intakes[index]),
+                    intakes: intakes.clone(),
+                    next_loop: 0,
+                    conns: BTreeMap::new(),
+                    shared: Arc::clone(&shared),
+                    config: config.clone(),
+                    rate_limit,
+                    conns_open: shared.ingest.registry().gauge("collector.conns.open"),
+                    conns_accepted: shared.ingest.registry().counter("collector.conns.accepted"),
+                    conns_evicted: shared.ingest.registry().counter("collector.conns.evicted"),
+                };
                 std::thread::Builder::new()
-                    .name(format!("collector-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(stream) = conn_queue.pop() {
-                            // Per-connection protocol errors already answered
-                            // the peer where possible; they must not take the
-                            // worker down.
-                            let _ = serve_connection(stream, &shared, &config);
-                        }
-                    })
+                    .name(format!("collector-loop-{index}"))
+                    .spawn(move || event_loop.run())
             })
             .collect::<Result<Vec<_>, _>>()?;
 
@@ -319,9 +385,8 @@ impl Collector {
         Ok(Self {
             local_addr,
             shared,
-            conn_queue,
-            accept_thread,
-            worker_threads,
+            loop_wakers,
+            loop_threads,
             epoch_thread,
         })
     }
@@ -342,26 +407,27 @@ impl Collector {
         self.shared.ingest.registry().snapshot()
     }
 
-    /// Shuts the service down gracefully: stop accepting, finish serving
-    /// connected clients, then drain every queued report into final epochs.
+    /// Shuts the service down gracefully: stop accepting, flush what the
+    /// open connections will take, then drain every queued report into
+    /// final epochs.
     pub fn shutdown(self) -> CollectorSummary {
         let Self {
             local_addr: _,
             shared,
-            conn_queue,
-            accept_thread,
-            worker_threads,
+            loop_wakers,
+            loop_threads,
             epoch_thread,
         } = self;
         shared.shutting_down.store(true, Ordering::SeqCst);
-        // The accept loop polls the flag and exits within one poll interval.
-        let _ = accept_thread.join();
-        // No new connections arrive; let workers drain the backlog.
-        conn_queue.close();
-        for worker in worker_threads {
-            let _ = worker.join();
+        // Every loop observes the flag on its next turn; the wakes make
+        // that turn happen now rather than at the next poll interval.
+        for waker in &loop_wakers {
+            waker.wake();
         }
-        // No worker can push anymore; the epoch manager drains what is left.
+        for thread in loop_threads {
+            let _ = thread.join();
+        }
+        // No loop can push anymore; the epoch manager drains what is left.
         shared.ingest.queue().close();
         let _ = epoch_thread.join();
 
@@ -376,93 +442,315 @@ impl Collector {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    shared: &Shared,
-    conn_queue: &BoundedQueue<TcpStream>,
-    config: &CollectorConfig,
-) {
-    loop {
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            // WouldBlock is the idle case of the non-blocking listener;
-            // real transient failures (EMFILE under load, aborted
-            // handshakes) take the same brief back-off instead of spinning
-            // a core, letting workers drain connections that hold
-            // descriptors.
-            Err(_) => {
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
+/// Hand-off slot for connections dealt to another loop: loop 0 pushes,
+/// the owning loop drains at the top of its next turn (the wake makes that
+/// turn immediate).
+struct LoopIntake {
+    waker: Waker,
+    queue: Mutex<VecDeque<TcpStream>>,
+}
+
+/// Per-connection serving state owned by exactly one event loop.
+struct ConnState {
+    conn: Conn,
+    peer: SocketAddr,
+    bucket: Option<TokenBucket>,
+    /// The peer closed its write side; serve out pending responses, then
+    /// close.
+    read_done: bool,
+    /// A protocol violation made the stream unrecoverable; flush the final
+    /// response (the rejection), then close.
+    close_after_flush: bool,
+}
+
+/// One event-loop thread: a reactor, its share of the connections, and —
+/// on loop 0 — the listener.
+struct EventLoop {
+    index: usize,
+    reactor: Reactor,
+    policy: FramePolicy,
+    listener: Option<(TcpListener, Token)>,
+    intake: Arc<LoopIntake>,
+    intakes: Vec<Arc<LoopIntake>>,
+    next_loop: usize,
+    conns: BTreeMap<Token, ConnState>,
+    shared: Arc<Shared>,
+    config: CollectorConfig,
+    rate_limit: Option<u32>,
+    conns_open: prochlo_obs::Gauge,
+    conns_accepted: prochlo_obs::Counter,
+    conns_evicted: prochlo_obs::Counter,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let registry = Arc::clone(self.shared.ingest.registry());
+        let mut events: Vec<Event> = Vec::new();
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        loop {
+            if self.reactor.poll(&mut events, Some(POLL_INTERVAL)).is_err() {
+                break;
             }
-        };
-        // Windows inherits the listener's non-blocking mode into accepted
-        // sockets; the per-connection protocol I/O must block (with
-        // timeouts), so reset it explicitly.
-        if stream.set_nonblocking(false).is_err() {
-            continue;
-        }
-        match conn_queue.try_push(stream) {
-            Ok(()) => {
-                shared.connections.fetch_add(1, Ordering::Relaxed);
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                break;
             }
-            Err(refused) => {
-                // Even the connection backlog is full: answer RetryAfter
-                // once and hang up rather than holding the socket open.
-                shared.connections_refused.fetch_add(1, Ordering::Relaxed);
-                let (crate::queue::PushError::Full(mut stream)
-                | crate::queue::PushError::Closed(mut stream)) = refused;
-                let _ = stream.set_write_timeout(Some(config.io_timeout));
-                let busy = Response::RetryAfter {
-                    millis: config.retry_after_ms,
+            // The turn span covers the work, not the idle wait above.
+            let turn = registry.span("net.loop.turn");
+            self.drain_intake();
+            for event in events.drain(..) {
+                self.handle_event(event, &mut frames);
+            }
+            let _ = turn.finish();
+        }
+        // Exit: give each socket one chance to take the remaining bytes
+        // (acknowledged reports are already queued for the epoch manager;
+        // this is only response-delivery best effort), then close.
+        let tokens: Vec<Token> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(state) = self.conns.get_mut(&token) {
+                let _ = state.conn.flush();
+            }
+            self.close_conn(token, false);
+        }
+    }
+
+    fn drain_intake(&mut self) {
+        loop {
+            let Some(stream) = self.intake.queue.lock().pop_front() else {
+                break;
+            };
+            self.install(stream);
+        }
+    }
+
+    fn handle_event(&mut self, event: Event, frames: &mut Vec<Vec<u8>>) {
+        if self
+            .listener
+            .as_ref()
+            .is_some_and(|(_, token)| *token == event.token)
+        {
+            self.accept_ready();
+            return;
+        }
+        if event.timed_out {
+            self.close_conn(event.token, true);
+            return;
+        }
+        if event.readable {
+            let Some(state) = self.conns.get_mut(&event.token) else {
+                return;
+            };
+            frames.clear();
+            let outcome = state.conn.on_readable(frames);
+            let mut fatal = false;
+            match outcome {
+                Ok(ConnStatus::Open) => {}
+                Ok(ConnStatus::PeerClosed) => state.read_done = true,
+                Err(FrameError::TooLarge { .. }) => {
+                    // The peer announced more than we will read; answering
+                    // and resynchronizing is impossible, so reject, flush,
+                    // hang up.
+                    let reject = Response::Rejected {
+                        reason: "frame exceeds maximum size".to_string(),
+                    };
+                    fatal = state.conn.queue_body(&reject.to_bytes()).is_err();
+                    state.close_after_flush = true;
+                }
+                Err(_) => fatal = true,
+            }
+            if fatal {
+                self.close_conn(event.token, false);
+                return;
+            }
+            let progressed = !frames.is_empty();
+            if progressed {
+                let Some(state) = self.conns.get_mut(&event.token) else {
+                    return;
                 };
-                let _ = write_frame(&mut stream, &busy.to_bytes());
+                answer_frames(&self.shared, &self.config, state, frames);
+                // Completed frames are progress: re-arm the eviction
+                // deadline. (Bytes alone are not — a slow loris dribbling
+                // one byte per poll would never be evicted otherwise.)
+                self.reactor
+                    .set_deadline(event.token, Some(self.config.io_timeout));
+            }
+        }
+        self.settle(event.token);
+    }
+
+    /// Flushes what the socket will take and reconciles interest/lifecycle
+    /// with what remains.
+    fn settle(&mut self, token: Token) {
+        let Some(state) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let had_pending = state.conn.wants_write();
+        match state.conn.flush() {
+            Ok(FlushStatus::Drained) => {
+                if state.close_after_flush || state.read_done {
+                    self.close_conn(token, false);
+                } else {
+                    if had_pending {
+                        // Fully draining a response backlog is progress:
+                        // without this a bulk reader of a large stats
+                        // response could be evicted mid-conversation.
+                        self.reactor
+                            .set_deadline(token, Some(self.config.io_timeout));
+                    }
+                    self.reactor.set_interest(token, Interest::READ);
+                }
+            }
+            Ok(FlushStatus::Pending) => {
+                let paused = state.read_done
+                    || state.close_after_flush
+                    || state.conn.pending_write() > WRITE_PAUSE_BYTES;
+                self.reactor.set_interest(
+                    token,
+                    if paused {
+                        Interest::WRITE
+                    } else {
+                        Interest::READ_WRITE
+                    },
+                );
+            }
+            Err(_) => self.close_conn(token, false),
+        }
+    }
+
+    fn close_conn(&mut self, token: Token, evicted: bool) {
+        if self.conns.remove(&token).is_none() {
+            return;
+        }
+        self.reactor.deregister(token);
+        let remaining = self
+            .shared
+            .open_conns
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        self.conns_open.set(remaining as i64);
+        if evicted {
+            self.shared
+                .connections_evicted
+                .fetch_add(1, Ordering::Relaxed);
+            self.conns_evicted.inc();
+        }
+    }
+
+    /// Accepts until the listener would block (loop 0 only).
+    fn accept_ready(&mut self) {
+        loop {
+            let Some((listener, _)) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => self.dispatch(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                // Transient accept failures (EMFILE bursts, aborted
+                // handshakes): leave the rest for the next readiness
+                // report instead of spinning.
+                Err(_) => break,
             }
         }
     }
+
+    /// Deals a fresh connection to a loop, enforcing the open-connection
+    /// cap.
+    fn dispatch(&mut self, stream: TcpStream) {
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let open = self.shared.open_conns.load(Ordering::Relaxed);
+        if open >= self.config.conn_backlog as u64 {
+            self.shared
+                .connections_refused
+                .fetch_add(1, Ordering::Relaxed);
+            refuse(stream, &self.config);
+            return;
+        }
+        self.shared.open_conns.fetch_add(1, Ordering::Relaxed);
+        self.shared.connections.fetch_add(1, Ordering::Relaxed);
+        self.conns_accepted.inc();
+        self.conns_open.set(open as i64 + 1);
+        let target = self.next_loop % self.intakes.len();
+        self.next_loop += 1;
+        if target == self.index {
+            self.install(stream);
+        } else {
+            let intake = &self.intakes[target];
+            intake.queue.lock().push_back(stream);
+            intake.waker.wake();
+        }
+    }
+
+    /// Registers a dealt connection with this loop's reactor.
+    fn install(&mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let peer = match stream.peer_addr() {
+            Ok(peer) => peer,
+            Err(_) => {
+                self.release_slot();
+                return;
+            }
+        };
+        let conn = match Conn::new(stream, self.policy) {
+            Ok(conn) => conn,
+            Err(_) => {
+                self.release_slot();
+                return;
+            }
+        };
+        let token = self.reactor.register(conn.stream(), Interest::READ);
+        self.reactor
+            .set_deadline(token, Some(self.config.io_timeout));
+        self.conns.insert(
+            token,
+            ConnState {
+                conn,
+                peer,
+                bucket: self.rate_limit.map(TokenBucket::new),
+                read_done: false,
+                close_after_flush: false,
+            },
+        );
+    }
+
+    /// Un-counts a connection that died between dispatch and registration.
+    fn release_slot(&mut self) {
+        let remaining = self
+            .shared
+            .open_conns
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        self.conns_open.set(remaining as i64);
+    }
 }
 
-fn serve_connection(
-    stream: TcpStream,
+/// Answers every complete frame of one readable burst, queuing responses
+/// in request order. A malformed request poisons the stream: it is
+/// answered with a rejection and the rest of the burst is dropped, exactly
+/// like the blocking implementation's reject-and-hang-up.
+fn answer_frames(
     shared: &Shared,
     config: &CollectorConfig,
-) -> Result<(), CollectorError> {
-    stream.set_read_timeout(Some(config.io_timeout))?;
-    stream.set_write_timeout(Some(config.io_timeout))?;
-    stream.set_nodelay(true)?;
-    let peer = stream.peer_addr()?;
-    let mut reader = std::io::BufReader::new(stream.try_clone()?);
-    let mut writer = std::io::BufWriter::new(stream);
-    loop {
-        // Between requests is the safe point to observe a shutdown: the
-        // last response is fully written, so hanging up here cannot lose an
-        // acknowledged report, and a persistent client cannot pin this
-        // worker past shutdown (a silent one is bounded by io_timeout).
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            return Err(CollectorError::ShuttingDown);
+    state: &mut ConnState,
+    frames: &mut Vec<Vec<u8>>,
+) {
+    for body in frames.drain(..) {
+        if state.close_after_flush {
+            break;
         }
-        let body = match read_frame(&mut reader, config.max_frame_len) {
-            Ok(body) => body,
-            Err(CollectorError::ConnectionClosed) => return Ok(()),
-            Err(CollectorError::FrameTooLarge { .. }) => {
-                // The peer announced more than we will read; answering and
-                // resynchronizing is impossible, so reject and hang up.
-                let reject = Response::Rejected {
-                    reason: "frame exceeds maximum size".to_string(),
-                };
-                let _ = write_frame(&mut writer, &reject.to_bytes());
-                return Err(CollectorError::Protocol("oversized frame"));
-            }
-            Err(e) => return Err(e),
-        };
         let response = match Request::from_bytes(&body) {
-            Ok(Request::Submit { nonce, report }) => shared.ingest.ingest(&nonce, &report, peer),
-            // Routing already happened by the time a routed submission
-            // reaches a shard; the prefix is purely the router's concern.
-            Ok(Request::SubmitRouted { nonce, report, .. }) => {
-                shared.ingest.ingest(&nonce, &report, peer)
+            Ok(Request::Submit { nonce, report })
+            | Ok(Request::SubmitRouted { nonce, report, .. }) => {
+                // The rate limiter sits in front of ingest so a limited
+                // submission costs neither a dedup slot nor queue space.
+                if state.bucket.as_mut().is_some_and(|b| !b.try_take()) {
+                    Response::RetryAfter {
+                        millis: config.retry_after_ms,
+                    }
+                } else {
+                    shared.ingest.ingest(&nonce, &report, state.peer)
+                }
             }
             Ok(Request::Ping) => Response::Ack {
                 pending: shared.ingest.queue().len() as u32,
@@ -474,15 +762,29 @@ fn serve_connection(
             },
             Err(_) => {
                 // A desynchronized or hostile peer; reject and hang up.
-                let reject = Response::Rejected {
+                state.close_after_flush = true;
+                Response::Rejected {
                     reason: "malformed request".to_string(),
-                };
-                let _ = write_frame(&mut writer, &reject.to_bytes());
-                return Err(CollectorError::Protocol("malformed request"));
+                }
             }
         };
-        write_frame(&mut writer, &response.to_bytes())?;
+        if state.conn.queue_body(&response.to_bytes()).is_err() {
+            state.close_after_flush = true;
+            break;
+        }
     }
+}
+
+/// Best-effort `RetryAfter` for a connection refused at the cap; the
+/// socket is fresh, so the handful of bytes lands in the send buffer
+/// without blocking beyond the configured timeout.
+fn refuse(mut stream: TcpStream, config: &CollectorConfig) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(config.io_timeout));
+    let busy = Response::RetryAfter {
+        millis: config.retry_after_ms,
+    };
+    let _ = write_frame(&mut stream, &busy.to_bytes());
 }
 
 fn epoch_loop(mut pipeline: Box<dyn EpochPipeline>, shared: &Shared, config: &CollectorConfig) {
@@ -533,6 +835,7 @@ fn epoch_loop(mut pipeline: Box<dyn EpochPipeline>, shared: &Shared, config: &Co
         shared.epochs.lock().push(EpochResult {
             index: spec.epoch_index,
             reports,
+            process_seconds,
             outcome,
         });
         // Age the replay filter with the epoch boundary so its memory and
@@ -541,7 +844,6 @@ fn epoch_loop(mut pipeline: Box<dyn EpochPipeline>, shared: &Shared, config: &Co
         spec = spec.next();
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -757,6 +1059,99 @@ mod tests {
         assert_eq!(
             snap.get("collector.epoch.cut"),
             Some(summary.stats.epochs_cut as f64)
+        );
+    }
+
+    #[test]
+    fn rate_limited_connection_gets_retry_after_then_recovers() {
+        let config = CollectorConfig {
+            // Burst of 2, then the bucket refills at 2/s — far slower than
+            // the test submits.
+            rate_limit_per_conn: Some(2),
+            ..test_config()
+        };
+        let (collector, encoder) = start_collector(81, config);
+        let mut rng = StdRng::seed_from_u64(82);
+        let mut client = CollectorClient::connect(collector.local_addr()).unwrap();
+        let mut acked = 0;
+        let mut limited = 0;
+        for i in 0..6u64 {
+            let report = encoder
+                .encode_plain(b"v", CrowdStrategy::None, i, &mut rng)
+                .unwrap();
+            match client
+                .submit(&fresh_nonce(&mut rng), &report.outer.to_bytes())
+                .unwrap()
+            {
+                Response::Ack { .. } => acked += 1,
+                Response::RetryAfter { .. } => limited += 1,
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!(acked, 2, "burst capacity admits exactly two");
+        assert_eq!(limited, 4, "the rest are rate-limited");
+        // The limit is per connection, not per service: a fresh connection
+        // gets a fresh bucket.
+        let mut second = CollectorClient::connect(collector.local_addr()).unwrap();
+        let report = encoder
+            .encode_plain(b"v", CrowdStrategy::None, 99, &mut rng)
+            .unwrap();
+        assert!(matches!(
+            second
+                .submit(&fresh_nonce(&mut rng), &report.outer.to_bytes())
+                .unwrap(),
+            Response::Ack { .. }
+        ));
+        drop(client);
+        drop(second);
+        let summary = collector.shutdown();
+        assert_eq!(summary.stats.ingest.accepted, 3);
+    }
+
+    #[test]
+    fn idle_connection_is_evicted_at_the_deadline() {
+        let registry = Arc::new(prochlo_obs::Registry::new(true));
+        let config = CollectorConfig {
+            io_timeout: Duration::from_millis(150),
+            registry: Some(Arc::clone(&registry)),
+            ..test_config()
+        };
+        let (collector, encoder) = start_collector(91, config);
+        let mut rng = StdRng::seed_from_u64(92);
+        // A slow loris: connects, never completes a frame.
+        let loris = std::net::TcpStream::connect(collector.local_addr()).unwrap();
+        // A healthy client on the same service keeps being served while the
+        // loris sits idle past its deadline.
+        let mut client = CollectorClient::connect(collector.local_addr()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let report = encoder
+                .encode_plain(b"alive", CrowdStrategy::None, 0, &mut rng)
+                .unwrap();
+            assert!(matches!(
+                client
+                    .submit(&fresh_nonce(&mut rng), &report.outer.to_bytes())
+                    .unwrap(),
+                Response::Ack { .. }
+            ));
+            if collector.stats().connections_evicted >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "loris was never evicted"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        drop(loris);
+        drop(client);
+        let summary = collector.shutdown();
+        assert_eq!(summary.stats.connections_evicted, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.get("collector.conns.evicted"), Some(1.0));
+        assert_eq!(
+            snap.get("collector.conns.accepted"),
+            Some(summary.stats.connections as f64)
         );
     }
 

@@ -181,6 +181,122 @@ impl<R: Read + ?Sized> FrameRead for R {
     }
 }
 
+/// Incremental frame assembly for readiness-driven (nonblocking) I/O.
+///
+/// The blocking [`FrameRead`] path owns its stream and can simply
+/// `read_exact`; an event loop instead receives arbitrary byte chunks as
+/// the socket becomes readable and must resume parsing mid-frame. This
+/// accumulator is the nonblocking twin of [`FrameRead`]: feed it chunks
+/// with [`FrameAccumulator::extend`], drain complete frame bodies with
+/// [`FrameAccumulator::next_frame`]. Policy checks happen as early as the
+/// bytes allow — an oversized length prefix is rejected the moment its
+/// four bytes are present (before any body byte is buffered), and a wrong
+/// version byte is rejected as soon as it arrives, so a hostile peer can
+/// never make the accumulator buffer more than one policy-sized frame.
+///
+/// ```
+/// use prochlo_core::framing::{FrameAccumulator, FramePolicy, FrameWrite};
+///
+/// let policy = FramePolicy::new(1, 1024);
+/// let mut wire = Vec::new();
+/// wire.write_frame(&policy, b"hello").unwrap();
+/// let mut acc = FrameAccumulator::new(policy);
+/// for byte in wire {
+///     acc.extend(&[byte]); // one byte at a time
+/// }
+/// assert_eq!(acc.next_frame().unwrap(), Some(b"hello".to_vec()));
+/// assert_eq!(acc.next_frame().unwrap(), None);
+/// ```
+#[derive(Debug)]
+pub struct FrameAccumulator {
+    policy: FramePolicy,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames; compacted
+    /// whenever the dead prefix outgrows the live suffix.
+    start: usize,
+    /// Set once a policy violation is detected: the stream cannot be
+    /// resynchronized, so every later call reports the same error.
+    poisoned: Option<&'static str>,
+}
+
+impl FrameAccumulator {
+    /// An empty accumulator enforcing `policy`.
+    pub fn new(policy: FramePolicy) -> Self {
+        Self {
+            policy,
+            buf: Vec::new(),
+            start: 0,
+            poisoned: None,
+        }
+    }
+
+    /// Appends one chunk of bytes read off the stream.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Returns the next complete frame body, `None` when more bytes are
+    /// needed, or an error when the stream violated the policy (oversized
+    /// announcement, impossible length, wrong version byte). Errors are
+    /// sticky: a violated stream cannot be resynchronized.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if let Some(what) = self.poisoned {
+            return Err(FrameError::Protocol(what));
+        }
+        // prochlo-lint: allow(panic-on-wire, "start is an internal cursor, only ever advanced to a consumed frame boundary <= buf.len(); no peer byte reaches the index")
+        let live = &self.buf[self.start..];
+        if live.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        // prochlo-lint: allow(panic-on-wire, "bounds proven: live.len() >= 4 is checked above")
+        let len = u32::from_le_bytes([live[0], live[1], live[2], live[3]]) as usize;
+        if len > self.policy.max_frame_len {
+            // Reject on the announcement alone — mid-accumulation, before
+            // the peer gets to make us buffer the body.
+            self.poisoned = Some("oversized frame");
+            return Err(FrameError::TooLarge {
+                actual: len,
+                maximum: self.policy.max_frame_len,
+            });
+        }
+        if len < 2 {
+            self.poisoned = Some("frame shorter than header");
+            return Err(FrameError::Protocol("frame shorter than header"));
+        }
+        // The version byte is checked as soon as it is present, without
+        // waiting for the body.
+        // prochlo-lint: allow(panic-on-wire, "bounds proven: live.len() >= 5 is checked on this line")
+        if live.len() >= 5 && live[4] != self.policy.version {
+            self.poisoned = Some("unsupported protocol version");
+            return Err(FrameError::Protocol("unsupported protocol version"));
+        }
+        if live.len() < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        // prochlo-lint: allow(panic-on-wire, "bounds proven: live.len() >= 4 + len and len >= 2 are checked above")
+        let body = live[5..4 + len].to_vec();
+        self.start += 4 + len;
+        self.compact();
+        Ok(Some(body))
+    }
+
+    /// Drops the consumed prefix once it dominates the buffer, keeping the
+    /// resident size proportional to the unparsed remainder.
+    fn compact(&mut self) {
+        if self.start > 0 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +363,76 @@ mod tests {
         assert!(matches!(
             Cursor::new(wire).read_frame(&POLICY),
             Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn accumulator_reassembles_byte_at_a_time_delivery() {
+        let mut wire = Vec::new();
+        wire.write_frame(&POLICY, b"first").unwrap();
+        wire.write_frame(&POLICY, b"second").unwrap();
+        let mut acc = FrameAccumulator::new(POLICY);
+        let mut frames = Vec::new();
+        for byte in wire {
+            acc.extend(&[byte]);
+            while let Some(body) = acc.next_frame().unwrap() {
+                frames.push(body);
+            }
+        }
+        assert_eq!(frames, [b"first".to_vec(), b"second".to_vec()]);
+        assert_eq!(acc.buffered(), 0);
+    }
+
+    #[test]
+    fn accumulator_drains_multiple_frames_from_one_chunk() {
+        let mut wire = Vec::new();
+        for body in [&b"a"[..], b"bb", b"ccc"] {
+            wire.write_frame(&POLICY, body).unwrap();
+        }
+        // Split mid-way through the second frame: the first call sees one
+        // complete frame plus a partial, the second completes the rest.
+        let cut = 4 + 2 + 3;
+        let mut acc = FrameAccumulator::new(POLICY);
+        acc.extend(&wire[..cut]);
+        assert_eq!(acc.next_frame().unwrap(), Some(b"a".to_vec()));
+        assert_eq!(acc.next_frame().unwrap(), None);
+        acc.extend(&wire[cut..]);
+        assert_eq!(acc.next_frame().unwrap(), Some(b"bb".to_vec()));
+        assert_eq!(acc.next_frame().unwrap(), Some(b"ccc".to_vec()));
+        assert_eq!(acc.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn accumulator_rejects_oversize_on_the_length_prefix_alone() {
+        let mut acc = FrameAccumulator::new(POLICY);
+        acc.extend(&(1u32 << 30).to_le_bytes());
+        assert!(matches!(
+            acc.next_frame(),
+            Err(FrameError::TooLarge { actual, .. }) if actual == 1 << 30
+        ));
+        // The error is sticky: the stream cannot be resynchronized.
+        acc.extend(b"more bytes");
+        assert!(matches!(acc.next_frame(), Err(FrameError::Protocol(_))));
+    }
+
+    #[test]
+    fn accumulator_rejects_bad_version_before_the_body_arrives() {
+        let mut acc = FrameAccumulator::new(POLICY);
+        acc.extend(&64u32.to_le_bytes());
+        acc.extend(&[9]); // wrong version; 63 body bytes never sent
+        assert!(matches!(
+            acc.next_frame(),
+            Err(FrameError::Protocol("unsupported protocol version"))
+        ));
+    }
+
+    #[test]
+    fn accumulator_rejects_impossibly_short_frames() {
+        let mut acc = FrameAccumulator::new(POLICY);
+        acc.extend(&1u32.to_le_bytes());
+        assert!(matches!(
+            acc.next_frame(),
+            Err(FrameError::Protocol("frame shorter than header"))
         ));
     }
 }

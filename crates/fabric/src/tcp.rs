@@ -8,19 +8,29 @@
 //! so the acceptor learns who is on the socket without guessing from
 //! addresses.
 //!
-//! Each link demultiplexes incoming frames into per-stage inboxes: a
-//! receiver blocked on [`Stage::Items`] will buffer an interleaved
-//! [`Stage::Control`] frame rather than drop it. Sequence numbers are
-//! checked per `(peer, stage)` stream exactly as in the loopback
-//! transport.
+//! Receiving is event-driven: [`TcpTransportBuilder::build`] hands every
+//! established socket to one [`prochlo_net::FramePump`] thread, which
+//! multiplexes all links on a readiness reactor and files each complete
+//! frame into its link's per-stage inbox — a receiver blocked on
+//! [`Stage::Items`] will find an interleaved [`Stage::Control`] frame
+//! buffered rather than dropped, and no thread is parked per peer.
+//! Sequence numbers are checked per `(peer, stage)` stream exactly as in
+//! the loopback transport; a violated check fails the link for every
+//! waiter.
+//!
+//! The pump shares each socket's file description with the send half, so
+//! the sockets are nonblocking on both sides; sends go through
+//! [`prochlo_net::send_frame`], which parks on writability rather than
+//! busy-spinning when the kernel buffer is full.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 use prochlo_core::framing::{FrameRead, FrameWrite};
 use prochlo_core::wire::Reader;
+use prochlo_net::{send_frame, FramePump, PumpEvent};
 
 use crate::transport::{
     frame_policy, metrics, ChannelId, Envelope, FabricError, Peer, Stage, Transport,
@@ -36,36 +46,34 @@ struct LinkInbox {
     failed: Option<Option<String>>,
 }
 
-/// One established socket to a peer.
+/// One established socket to a peer: the send half plus the inbox the
+/// pump thread files incoming frames into.
 struct Link {
     peer: Peer,
-    writer: Mutex<(BufWriter<TcpStream>, BTreeMap<Stage, u64>)>,
-    reader: Mutex<BufReader<TcpStream>>,
+    /// Send half and per-stage send sequence numbers, under one lock so
+    /// concurrent senders never interleave partial frames on the socket.
+    writer: Mutex<(TcpStream, BTreeMap<Stage, u64>)>,
     inbox: Mutex<LinkInbox>,
     arrived: Condvar,
 }
 
 impl Link {
-    fn new(peer: Peer, stream: TcpStream) -> Result<Self, FabricError> {
-        let read_half = stream
-            .try_clone()
-            .map_err(|e| FabricError::Frame(e.into()))?;
-        Ok(Self {
+    fn new(peer: Peer, stream: TcpStream) -> Self {
+        Self {
             peer,
-            writer: Mutex::new((BufWriter::new(stream), BTreeMap::new())),
-            reader: Mutex::new(BufReader::new(read_half)),
+            writer: Mutex::new((stream, BTreeMap::new())),
             inbox: Mutex::new(LinkInbox {
                 stages: BTreeMap::new(),
                 recv_seq: BTreeMap::new(),
                 failed: None,
             }),
             arrived: Condvar::new(),
-        })
+        }
     }
 
     fn send(&self, from: Peer, stage: Stage, payload: &[u8]) -> Result<(), FabricError> {
         let mut guard = self.writer.lock();
-        let (writer, send_seq) = &mut *guard;
+        let (stream, send_seq) = &mut *guard;
         let seq = send_seq.entry(stage).or_insert(0);
         let envelope = Envelope {
             from,
@@ -74,81 +82,72 @@ impl Link {
             payload: payload.to_vec(),
         };
         *seq += 1;
-        writer.write_frame(&frame_policy(), &envelope.to_bytes())?;
+        send_frame(stream, &frame_policy(), &envelope.to_bytes())?;
         metrics::frame_sent(self.peer, stage, payload.len());
         Ok(())
     }
 
-    /// Reads one frame off the socket and files it in the inbox. Returns
-    /// the stage it arrived on.
-    fn pump_one(&self, reader: &mut BufReader<TcpStream>) -> Result<Stage, FabricError> {
-        let body = reader.read_frame(&frame_policy())?;
-        let envelope = Envelope::from_bytes(&body)?;
-        if envelope.from != self.peer {
-            return Err(FabricError::WrongPeer {
-                expected: self.peer,
-                actual: envelope.from,
-            });
+    /// Decodes and sequence-checks one frame the pump read off the socket,
+    /// filing the payload in the inbox. Any violation fails the link: the
+    /// byte stream past a desynchronized envelope cannot be trusted.
+    fn file_frame(&self, body: &[u8]) {
+        let filed: Result<(), FabricError> = (|| {
+            let envelope = Envelope::from_bytes(body)?;
+            if envelope.from != self.peer {
+                return Err(FabricError::WrongPeer {
+                    expected: self.peer,
+                    actual: envelope.from,
+                });
+            }
+            let channel = ChannelId::new(envelope.from, envelope.stage);
+            let mut inbox = self.inbox.lock();
+            let expected = inbox.recv_seq.entry(envelope.stage).or_insert(0);
+            if envelope.seq != *expected {
+                metrics::out_of_order(channel);
+                return Err(FabricError::OutOfOrder {
+                    channel,
+                    expected: *expected,
+                    actual: envelope.seq,
+                });
+            }
+            *expected += 1;
+            metrics::frame_received(channel, envelope.payload.len());
+            inbox
+                .stages
+                .entry(envelope.stage)
+                .or_default()
+                .push_back(envelope.payload);
+            drop(inbox);
+            self.arrived.notify_all();
+            Ok(())
+        })();
+        if let Err(e) = filed {
+            self.fail(Some(e.to_string()));
         }
-        let channel = ChannelId::new(envelope.from, envelope.stage);
+    }
+
+    /// Records a link failure (`None` = clean close) and wakes every
+    /// blocked receiver.
+    fn fail(&self, failure: Option<String>) {
         let mut inbox = self.inbox.lock();
-        let expected = inbox.recv_seq.entry(envelope.stage).or_insert(0);
-        if envelope.seq != *expected {
-            metrics::out_of_order(channel);
-            return Err(FabricError::OutOfOrder {
-                channel,
-                expected: *expected,
-                actual: envelope.seq,
-            });
+        if inbox.failed.is_none() {
+            inbox.failed = Some(failure);
         }
-        *expected += 1;
-        metrics::frame_received(channel, envelope.payload.len());
-        inbox
-            .stages
-            .entry(envelope.stage)
-            .or_default()
-            .push_back(envelope.payload);
         drop(inbox);
         self.arrived.notify_all();
-        Ok(envelope.stage)
     }
 
     fn recv(&self, stage: Stage) -> Result<Vec<u8>, FabricError> {
+        let mut inbox = self.inbox.lock();
         loop {
-            {
-                let mut inbox = self.inbox.lock();
-                if let Some(payload) = inbox.stages.get_mut(&stage).and_then(VecDeque::pop_front) {
-                    return Ok(payload);
-                }
-                if let Some(failure) = &inbox.failed {
-                    return Err(match failure {
-                        None => FabricError::Closed,
-                        Some(what) => FabricError::LinkFailed(what.clone()),
-                    });
-                }
+            if let Some(payload) = inbox.stages.get_mut(&stage).and_then(VecDeque::pop_front) {
+                return Ok(payload);
             }
-            // Exactly one thread pumps the socket at a time; the rest wait
-            // on the inbox condvar for it to file frames.
-            if let Some(mut reader) = self.reader.try_lock() {
-                match self.pump_one(&mut reader) {
-                    Ok(_) => continue,
-                    Err(e) => {
-                        // Record the failure for later waiters. I/O errors
-                        // are not Clone, so they keep only the description.
-                        let mut inbox = self.inbox.lock();
-                        inbox.failed = Some(match &e {
-                            FabricError::Closed => None,
-                            other => Some(other.to_string()),
-                        });
-                        drop(inbox);
-                        self.arrived.notify_all();
-                        return Err(e);
-                    }
-                }
-            }
-            let mut inbox = self.inbox.lock();
-            if inbox.stages.get(&stage).is_some_and(|q| !q.is_empty()) || inbox.failed.is_some() {
-                continue;
+            if let Some(failure) = &inbox.failed {
+                return Err(match failure {
+                    None => FabricError::Closed,
+                    Some(what) => FabricError::LinkFailed(what.clone()),
+                });
             }
             self.arrived.wait(&mut inbox);
         }
@@ -160,7 +159,7 @@ impl Link {
 pub struct TcpTransportBuilder {
     identity: Peer,
     listener: Option<TcpListener>,
-    links: Vec<Link>,
+    pending: Vec<(Peer, TcpStream)>,
 }
 
 impl TcpTransportBuilder {
@@ -169,7 +168,7 @@ impl TcpTransportBuilder {
         Self {
             identity,
             listener: None,
-            links: Vec::new(),
+            pending: Vec::new(),
         }
     }
 
@@ -185,7 +184,9 @@ impl TcpTransportBuilder {
     }
 
     /// Accepts `count` inbound links. Each dialer introduces itself with a
-    /// `HELLO` frame; the link is filed under that identity.
+    /// `HELLO` frame; the link is filed under that identity. The handshake
+    /// runs on the still-blocking socket — the pump takes over only at
+    /// [`Self::build`].
     pub fn accept(&mut self, count: usize) -> Result<Vec<Peer>, FabricError> {
         let listener = self
             .listener
@@ -200,8 +201,8 @@ impl TcpTransportBuilder {
                 .set_nodelay(true)
                 .map_err(|e| FabricError::Frame(e.into()))?;
             // Read the HELLO off the raw stream: a BufReader here could
-            // read ahead into frames that belong to the link's own reader
-            // and silently drop them with the temporary buffer.
+            // read ahead into frames that belong to the pump and silently
+            // drop them with the temporary buffer.
             let mut raw = &stream;
             let hello = raw.read_frame(&frame_policy())?;
             let mut cursor = Reader::new(&hello);
@@ -210,7 +211,7 @@ impl TcpTransportBuilder {
                 return Err(FabricError::Malformed("trailing bytes in hello frame"));
             }
             accepted.push(peer);
-            self.links.push(Link::new(peer, stream)?);
+            self.pending.push((peer, stream));
         }
         Ok(accepted)
     }
@@ -226,23 +227,59 @@ impl TcpTransportBuilder {
         self.identity.encode(&mut hello);
         let mut writer = &stream;
         writer.write_frame(&frame_policy(), &hello)?;
-        self.links.push(Link::new(peer, stream)?);
+        self.pending.push((peer, stream));
         Ok(())
     }
 
-    /// Finalizes the builder into an immutable transport.
-    pub fn build(self) -> TcpTransport {
-        TcpTransport {
-            identity: self.identity,
-            links: self.links,
+    /// Finalizes the builder: every established socket moves onto one
+    /// shared pump thread and the transport becomes immutable.
+    pub fn build(self) -> Result<TcpTransport, FabricError> {
+        let mut links = Vec::with_capacity(self.pending.len());
+        let mut pump_streams = Vec::with_capacity(self.pending.len());
+        for (index, (peer, stream)) in self.pending.into_iter().enumerate() {
+            // The pump reads on a cloned handle; both handles share one
+            // file description, which the pump flips nonblocking.
+            let read_half = stream
+                .try_clone()
+                .map_err(|e| FabricError::Frame(e.into()))?;
+            pump_streams.push((index, read_half));
+            links.push(Arc::new(Link::new(peer, stream)));
         }
+        let pump = if links.is_empty() {
+            None
+        } else {
+            let pump_links = links.clone();
+            Some(
+                FramePump::spawn(
+                    "fabric",
+                    frame_policy(),
+                    pump_streams,
+                    move |index, event| {
+                        let link = &pump_links[index];
+                        match event {
+                            PumpEvent::Frame(body) => link.file_frame(&body),
+                            PumpEvent::Closed => link.fail(None),
+                            PumpEvent::Failed(e) => link.fail(Some(e.to_string())),
+                        }
+                    },
+                )
+                .map_err(|e| FabricError::Frame(e.into()))?,
+            )
+        };
+        Ok(TcpTransport {
+            identity: self.identity,
+            links,
+            _pump: pump,
+        })
     }
 }
 
 /// The TCP implementation of [`Transport`].
 pub struct TcpTransport {
     identity: Peer,
-    links: Vec<Link>,
+    links: Vec<Arc<Link>>,
+    /// Joined on drop; stopping the pump closes no sockets, the links do.
+    _pump: Option<FramePump>,
 }
 
 impl TcpTransport {
@@ -250,6 +287,7 @@ impl TcpTransport {
         self.links
             .iter()
             .find(|l| l.peer == peer)
+            .map(Arc::as_ref)
             .ok_or(FabricError::NotConnected(peer))
     }
 }
@@ -283,7 +321,7 @@ mod tests {
         let dialer = std::thread::spawn(move || {
             let mut b = TcpTransportBuilder::new(Peer::ShufflerOne);
             b.connect(Peer::ShufflerTwo, addr).unwrap();
-            let t = b.build();
+            let t = b.build().unwrap();
             t.send(Peer::ShufflerTwo, Stage::Records, b"recs").unwrap();
             t.send(Peer::ShufflerTwo, Stage::Control, b"done").unwrap();
             // Wait for the ack so the socket stays open until the peer reads.
@@ -293,7 +331,7 @@ mod tests {
             assert_eq!(ack, b"ack");
         });
         assert_eq!(acceptor.accept(1).unwrap(), vec![Peer::ShufflerOne]);
-        let t = acceptor.build();
+        let t = acceptor.build().unwrap();
         // Read control before records: the records frame is buffered.
         assert_eq!(
             t.recv(ChannelId::new(Peer::ShufflerOne, Stage::Control))
@@ -311,7 +349,7 @@ mod tests {
 
     #[test]
     fn unknown_peer_is_not_connected() {
-        let t = TcpTransportBuilder::new(Peer::Driver).build();
+        let t = TcpTransportBuilder::new(Peer::Driver).build().unwrap();
         assert!(matches!(
             t.send(Peer::Router, Stage::Control, b"x"),
             Err(FabricError::NotConnected(Peer::Router))
@@ -325,14 +363,47 @@ mod tests {
         let dialer = std::thread::spawn(move || {
             let mut b = TcpTransportBuilder::new(Peer::Shard(0));
             b.connect(Peer::Driver, addr).unwrap();
-            drop(b.build()); // hang up immediately
+            drop(b.build().unwrap()); // hang up immediately
         });
         acceptor.accept(1).unwrap();
         dialer.join().unwrap();
-        let t = acceptor.build();
+        let t = acceptor.build().unwrap();
         assert!(matches!(
             t.recv(ChannelId::new(Peer::Shard(0), Stage::Control)),
             Err(FabricError::Closed)
         ));
+    }
+
+    #[test]
+    fn out_of_order_sequence_fails_the_link_for_waiters() {
+        let mut acceptor = TcpTransportBuilder::new(Peer::ShufflerTwo);
+        let addr = acceptor.listen(loop_addr()).unwrap();
+        let dialer = std::thread::spawn(move || {
+            // A hand-rolled peer that skips sequence number 0.
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut hello = Vec::new();
+            Peer::ShufflerOne.encode(&mut hello);
+            let mut writer = &stream;
+            writer.write_frame(&frame_policy(), &hello).unwrap();
+            let envelope = Envelope {
+                from: Peer::ShufflerOne,
+                stage: Stage::Control,
+                seq: 7,
+                payload: b"early".to_vec(),
+            };
+            writer
+                .write_frame(&frame_policy(), &envelope.to_bytes())
+                .unwrap();
+            // Keep the socket open until the acceptor has judged the frame.
+            let _ = std::io::Read::read(&mut { &stream }, &mut [0u8; 1]);
+        });
+        acceptor.accept(1).unwrap();
+        let t = acceptor.build().unwrap();
+        assert!(matches!(
+            t.recv(ChannelId::new(Peer::ShufflerOne, Stage::Control)),
+            Err(FabricError::LinkFailed(what)) if what.contains("out of order")
+        ));
+        drop(t);
+        dialer.join().unwrap();
     }
 }

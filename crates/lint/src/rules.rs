@@ -47,15 +47,15 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "wallclock-discipline",
-        summary: "Instant::now/SystemTime::now outside prochlo-obs: clock \
-                  reads belong to the telemetry layer (or carry a local \
-                  justification)",
+        summary: "Instant::now/SystemTime::now outside prochlo-obs and the \
+                  reactor's deadline internals: clock reads belong to the \
+                  telemetry layer (or carry a local justification)",
     },
     RuleInfo {
         name: "thread-spawn-discipline",
-        summary: "thread::spawn/scope outside prochlo_shuffle::exec and the \
-                  collector service: ad-hoc threading bypasses the \
-                  deterministic chunked executor",
+        summary: "thread::spawn/scope outside prochlo_shuffle::exec, the \
+                  collector service, and the net pump: ad-hoc threading \
+                  bypasses the deterministic chunked executor",
     },
 ];
 
@@ -79,6 +79,8 @@ const SANCTIONED_KNOB_FILES: &[&str] = &[
     "crates/core/src/knobs.rs",
     "crates/obs/src/knobs.rs",
     "crates/bench/src/lib.rs",
+    "crates/collector/src/knobs.rs",
+    "examples/src/knobs.rs",
 ];
 
 /// Types that hold key material. Deriving `PartialEq` on these compares
@@ -103,13 +105,22 @@ const WIRE_DECODE_FILES: &[&str] = &[
     "crates/fabric/src/transport.rs",
     "crates/core/src/wire.rs",
     "crates/core/src/framing.rs",
+    "crates/net/src/conn.rs",
 ];
 
 /// Files whose whole job is spawning worker threads.
 const SANCTIONED_THREAD_FILES: &[&str] = &[
     "crates/shuffle/src/exec.rs",
     "crates/collector/src/service.rs",
+    "crates/net/src/pump.rs",
 ];
+
+/// Files whose whole job is turning clock readings into readiness
+/// decisions — the reactor's deadline sweep and the token-bucket refill.
+/// Their clock reads are the mechanism itself, not telemetry, and they sit
+/// strictly on the serving side: nothing downstream of a seeded replay
+/// consumes them.
+const SANCTIONED_CLOCK_FILES: &[&str] = &["crates/net/src/reactor.rs", "crates/net/src/bucket.rs"];
 
 fn in_crate_src(path: &str) -> bool {
     path.starts_with("crates/") && path.contains("/src/")
@@ -140,6 +151,7 @@ pub fn run_rules(path: &str, tokens: &[Token], test_ctx: &[bool], findings: &mut
     if in_crate_src(path)
         && !path.starts_with("crates/obs/src/")
         && !path.starts_with("crates/bench/")
+        && !SANCTIONED_CLOCK_FILES.contains(&path)
     {
         wallclock_discipline(path, tokens, &live, findings);
     }

@@ -80,6 +80,17 @@ fn env_knob_discipline_sanctions_knob_modules() {
 }
 
 #[test]
+fn env_knob_discipline_covers_the_collector_and_example_knob_modules() {
+    // The serving-path knobs (`PROCHLO_COLLECTOR_*`) and the soak knobs
+    // (`PROCHLO_SOAK_*`) each have exactly one sanctioned home...
+    assert_clean("crates/collector/src/knobs.rs", ENV_FIRING);
+    assert_clean("examples/src/knobs.rs", ENV_FIRING);
+    // ...and the same read one file over still fires.
+    let findings = lint_source("examples/src/fixture.rs", ENV_FIRING);
+    assert_eq!(shape(&findings), [("env-knob-discipline", 2)]);
+}
+
+#[test]
 fn env_knob_discipline_clean_and_suppressed() {
     assert_clean("crates/collector/src/fixture.rs", ENV_CLEAN);
     assert_clean("crates/collector/src/fixture.rs", ENV_SUPPRESSED);
@@ -121,6 +132,15 @@ fn panic_on_wire_is_scoped_to_wire_decode_files() {
 }
 
 #[test]
+fn panic_on_wire_covers_the_frame_accumulator() {
+    // `Conn` parses length prefixes a peer controls, so it sits on the wire
+    // decode surface; the reactor next door never touches peer bytes.
+    let findings = lint_source("crates/net/src/conn.rs", PANIC_FIRING);
+    assert_eq!(shape(&findings).len(), 3, "{findings:?}");
+    assert_clean("crates/net/src/reactor.rs", PANIC_FIRING);
+}
+
+#[test]
 fn panic_on_wire_clean_and_suppressed() {
     assert_clean("crates/collector/src/protocol.rs", PANIC_CLEAN);
     assert_clean("crates/collector/src/protocol.rs", PANIC_SUPPRESSED);
@@ -140,6 +160,17 @@ fn wallclock_discipline_sanctions_obs_and_bench() {
 }
 
 #[test]
+fn wallclock_discipline_sanctions_the_reactor_clock() {
+    // Deadline sweeps and token-bucket refills *are* clock mechanisms, so
+    // the reactor and bucket may read time directly...
+    assert_clean("crates/net/src/reactor.rs", WALLCLOCK_FIRING);
+    assert_clean("crates/net/src/bucket.rs", WALLCLOCK_FIRING);
+    // ...but the frame accumulator next door gets no such license.
+    let findings = lint_source("crates/net/src/conn.rs", WALLCLOCK_FIRING);
+    assert_eq!(shape(&findings), [("wallclock-discipline", 2)]);
+}
+
+#[test]
 fn wallclock_discipline_clean_and_suppressed() {
     assert_clean("crates/core/src/fixture.rs", WALLCLOCK_CLEAN);
     assert_clean("crates/core/src/fixture.rs", WALLCLOCK_SUPPRESSED);
@@ -155,6 +186,11 @@ fn thread_spawn_discipline_fires_outside_executor() {
 fn thread_spawn_discipline_sanctions_executor_and_service() {
     assert_clean("crates/shuffle/src/exec.rs", THREAD_FIRING);
     assert_clean("crates/collector/src/service.rs", THREAD_FIRING);
+    // The frame pump owns its demux thread; the reactor next door must not
+    // spawn.
+    assert_clean("crates/net/src/pump.rs", THREAD_FIRING);
+    let findings = lint_source("crates/net/src/reactor.rs", THREAD_FIRING);
+    assert_eq!(shape(&findings), [("thread-spawn-discipline", 2)]);
 }
 
 #[test]

@@ -1,0 +1,268 @@
+//! Nonblocking connection state machine: incremental frame reads, buffered
+//! partial writes.
+//!
+//! A [`Conn`] owns one nonblocking `TcpStream` and carries the two pieces
+//! of state an event loop must persist between readiness events: a
+//! [`FrameAccumulator`] resuming frame parses across partial reads, and an
+//! offset-tracked write buffer resuming flushes across partial writes.
+//! The frame layout is exactly the workspace-wide blocking framing
+//! ([`FrameWrite`] serializes the outbound frames), so a `Conn` speaks
+//! byte-identical wire protocol to the blocking `FrameRead`/`FrameWrite`
+//! path it replaces.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use prochlo_core::framing::{FrameAccumulator, FrameError, FramePolicy, FrameWrite};
+
+use crate::reactor::wait_writable;
+
+/// How big a chunk one readable event pulls off the socket per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Result of draining a readable socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnStatus {
+    /// The peer may still send more bytes.
+    Open,
+    /// The peer closed its write side; frames drained before the close are
+    /// still delivered, then the connection is done reading.
+    PeerClosed,
+}
+
+/// Result of flushing the write buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushStatus {
+    /// Everything queued has reached the socket; write interest can drop.
+    Drained,
+    /// The socket would block with bytes still queued; keep write interest.
+    Pending,
+}
+
+/// One nonblocking connection: stream + resumable read/write state.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    acc: FrameAccumulator,
+    write_policy: FramePolicy,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+}
+
+impl Conn {
+    /// Wraps `stream`, switching it to nonblocking mode. `policy` bounds
+    /// inbound frames; outbound frames are checked only against the wire
+    /// format's own `u32` ceiling, mirroring the blocking protocol writers
+    /// (a service must be able to answer with frames larger than the
+    /// inbound cap, e.g. stats snapshots).
+    pub fn new(stream: TcpStream, policy: FramePolicy) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        Ok(Self {
+            stream,
+            acc: FrameAccumulator::new(policy),
+            write_policy: policy.with_max_frame_len(u32::MAX as usize),
+            write_buf: Vec::new(),
+            write_pos: 0,
+        })
+    }
+
+    /// The underlying stream (for reactor registration and peer lookup).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Drains the socket until it would block, appending every completed
+    /// frame body to `frames`. Policy violations (oversized announcement,
+    /// wrong version) surface as errors even when they arrive mid-read;
+    /// frames completed before the violation are already in `frames`.
+    pub fn on_readable(&mut self, frames: &mut Vec<Vec<u8>>) -> Result<ConnStatus, FrameError> {
+        let mut scratch = [0u8; READ_CHUNK];
+        let mut status = ConnStatus::Open;
+        loop {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    status = ConnStatus::PeerClosed;
+                    break;
+                }
+                // prochlo-lint: allow(panic-on-wire, "bounds proven: read returned n <= scratch.len()")
+                Ok(n) => self.acc.extend(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        while let Some(body) = self.acc.next_frame()? {
+            frames.push(body);
+        }
+        Ok(status)
+    }
+
+    /// Queues one outbound frame (`[u32 len][version][body]`) behind any
+    /// bytes still awaiting flush.
+    pub fn queue_body(&mut self, body: &[u8]) -> Result<(), FrameError> {
+        self.write_buf.write_frame(&self.write_policy, body)
+    }
+
+    /// Whether queued bytes are still waiting on the socket — the signal
+    /// for keeping write interest registered.
+    pub fn wants_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// Bytes queued but not yet accepted by the socket.
+    pub fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Bytes received but not yet returned as complete frames.
+    pub fn buffered_read(&self) -> usize {
+        self.acc.buffered()
+    }
+
+    /// Pushes queued bytes into the socket until drained or it would
+    /// block. A peer that stopped accepting bytes and closed surfaces as
+    /// [`FrameError::Closed`].
+    pub fn flush(&mut self) -> Result<FlushStatus, FrameError> {
+        while self.write_pos < self.write_buf.len() {
+            // prochlo-lint: allow(panic-on-wire, "bounds proven: write_pos < write_buf.len() is the loop condition, and both are service-controlled")
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return Err(FrameError::Closed),
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(FlushStatus::Pending),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        self.write_buf.clear();
+        self.write_pos = 0;
+        Ok(FlushStatus::Drained)
+    }
+}
+
+/// Sends one frame over a *nonblocking* stream with blocking-call
+/// semantics: serializes the full frame, then loops offset-tracked writes,
+/// parking on [`wait_writable`] whenever the socket pushes back. This is
+/// the only safe way to write a stream whose read half is reactor-managed —
+/// `set_nonblocking` applies to the shared fd, so a plain `write_all`
+/// could lose its position mid-frame on `WouldBlock`.
+pub fn send_frame(stream: &TcpStream, policy: &FramePolicy, body: &[u8]) -> Result<(), FrameError> {
+    let mut frame = Vec::with_capacity(body.len() + 5);
+    frame.write_frame(policy, body)?;
+    let mut pos = 0;
+    while pos < frame.len() {
+        // prochlo-lint: allow(panic-on-wire, "bounds proven: pos < frame.len() is the loop condition, and the frame is locally serialized")
+        match (&*stream).write(&frame[pos..]) {
+            Ok(0) => return Err(FrameError::Closed),
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                wait_writable(stream, Duration::from_millis(100))?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prochlo_core::framing::FrameRead;
+    use std::net::{TcpListener, TcpStream};
+
+    const POLICY: FramePolicy = FramePolicy::new(1, 1024);
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (client, server)
+    }
+
+    #[test]
+    fn frames_split_across_reads_reassemble() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server, POLICY).expect("conn");
+        let mut wire = Vec::new();
+        wire.write_frame(&POLICY, b"alpha").expect("frame");
+        wire.write_frame(&POLICY, b"beta").expect("frame");
+        let cut = wire.len() / 2;
+
+        client.write_all(&wire[..cut]).expect("write");
+        client.flush().expect("flush");
+        let mut frames = Vec::new();
+        // Wait until the first chunk has crossed the loopback.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while conn.buffered_read() == 0 && frames.is_empty() {
+            assert!(std::time::Instant::now() < deadline, "no bytes arrived");
+            let _ = conn.on_readable(&mut frames).expect("read");
+        }
+
+        client.write_all(&wire[cut..]).expect("write");
+        client.flush().expect("flush");
+        while frames.len() < 2 {
+            assert!(std::time::Instant::now() < deadline, "frames incomplete");
+            conn.on_readable(&mut frames).expect("read");
+        }
+        assert_eq!(frames, [b"alpha".to_vec(), b"beta".to_vec()]);
+    }
+
+    #[test]
+    fn peer_close_still_delivers_buffered_frames() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server, POLICY).expect("conn");
+        let mut wire = Vec::new();
+        wire.write_frame(&POLICY, b"last words").expect("frame");
+        client.write_all(&wire).expect("write");
+        drop(client);
+
+        let mut frames = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            assert!(std::time::Instant::now() < deadline, "close not observed");
+            if conn.on_readable(&mut frames).expect("read") == ConnStatus::PeerClosed {
+                break;
+            }
+        }
+        assert_eq!(frames, [b"last words".to_vec()]);
+    }
+
+    #[test]
+    fn queued_responses_flush_and_roundtrip() {
+        let (client, server) = pair();
+        let mut conn = Conn::new(server, POLICY).expect("conn");
+        conn.queue_body(b"response").expect("queue");
+        assert!(conn.wants_write());
+        // Loopback send buffers are far larger than one small frame.
+        assert_eq!(conn.flush().expect("flush"), FlushStatus::Drained);
+        assert!(!conn.wants_write());
+
+        let mut client = client;
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let body = client.read_frame(&POLICY).expect("read frame");
+        assert_eq!(body, b"response");
+    }
+
+    #[test]
+    fn send_frame_survives_nonblocking_backpressure() {
+        let (client, mut server) = pair();
+        client.set_nonblocking(true).expect("nonblocking");
+        // A body big enough to overwhelm the socket buffers and force at
+        // least one WouldBlock park while the reader lags.
+        let body = vec![0xabu8; 4 << 20];
+        let expected = body.clone();
+        let policy = FramePolicy::new(1, 8 << 20);
+        let writer = std::thread::spawn(move || send_frame(&client, &policy, &body));
+        server
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        let got = server.read_frame(&policy).expect("read frame");
+        writer.join().expect("join").expect("send");
+        assert_eq!(got.len(), expected.len());
+        assert_eq!(got, expected);
+    }
+}

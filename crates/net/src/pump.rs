@@ -1,0 +1,224 @@
+//! One shared demux thread multiplexing many framed streams.
+//!
+//! [`FramePump`] replaces the thread-per-peer blocking read loops services
+//! grew before the reactor existed: it owns one [`Reactor`] and one event
+//! thread, drains complete frames off every registered stream, and hands
+//! them to a single callback tagged with the caller's stream id. Terminal
+//! conditions (peer close, framing violation, I/O error) are delivered
+//! exactly once per stream, after which the stream is dropped from the
+//! poll set. Dropping the pump stops and joins the thread.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use prochlo_core::framing::{FrameError, FramePolicy};
+
+use crate::conn::{Conn, ConnStatus};
+use crate::reactor::{Interest, Reactor, Token, Waker};
+
+/// What the pump observed on one stream.
+#[derive(Debug)]
+pub enum PumpEvent {
+    /// One complete inbound frame body.
+    Frame(Vec<u8>),
+    /// The peer closed cleanly; no further events for this stream.
+    Closed,
+    /// The stream failed (I/O or framing violation); no further events for
+    /// this stream.
+    Failed(FrameError),
+}
+
+/// Handle to the demux thread; dropping it stops and joins the thread.
+pub struct FramePump {
+    stop: Arc<AtomicBool>,
+    waker: Waker,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl FramePump {
+    /// Spawns the demux thread over `streams`, each identified by the
+    /// caller-chosen `usize` id passed back with every event. Streams are
+    /// switched to nonblocking mode here; their write halves (shared fds)
+    /// become nonblocking too, so writers must use
+    /// [`crate::conn::send_frame`]-style offset loops from then on.
+    ///
+    /// `on_event` runs on the pump thread; it must not block for long, or
+    /// it stalls every multiplexed stream.
+    pub fn spawn<F>(
+        name: &str,
+        policy: FramePolicy,
+        streams: Vec<(usize, TcpStream)>,
+        mut on_event: F,
+    ) -> io::Result<Self>
+    where
+        F: FnMut(usize, PumpEvent) + Send + 'static,
+    {
+        let mut reactor = Reactor::new()?;
+        let mut conns: BTreeMap<Token, (usize, Conn)> = BTreeMap::new();
+        for (id, stream) in streams {
+            let conn = Conn::new(stream, policy)?;
+            let token = reactor.register(conn.stream(), Interest::READ);
+            conns.insert(token, (id, conn));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let waker = reactor.waker();
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("prochlo-pump-{name}"))
+            .spawn(move || {
+                let mut events = Vec::new();
+                let mut frames = Vec::new();
+                while !stop_flag.load(Ordering::Acquire) && !conns.is_empty() {
+                    if reactor.poll(&mut events, None).is_err() {
+                        // A failed poll turn cannot be attributed to one
+                        // stream; fail everything and stop.
+                        for (_, (id, _)) in std::mem::take(&mut conns) {
+                            on_event(
+                                id,
+                                PumpEvent::Failed(FrameError::Protocol("reactor poll failed")),
+                            );
+                        }
+                        break;
+                    }
+                    for event in &events {
+                        let Some((id, conn)) = conns.get_mut(&event.token) else {
+                            continue;
+                        };
+                        let id = *id;
+                        if !event.readable {
+                            continue;
+                        }
+                        frames.clear();
+                        let outcome = conn.on_readable(&mut frames);
+                        for body in frames.drain(..) {
+                            on_event(id, PumpEvent::Frame(body));
+                        }
+                        match outcome {
+                            Ok(ConnStatus::Open) => {}
+                            Ok(ConnStatus::PeerClosed) => {
+                                reactor.deregister(event.token);
+                                conns.remove(&event.token);
+                                on_event(id, PumpEvent::Closed);
+                            }
+                            Err(e) => {
+                                reactor.deregister(event.token);
+                                conns.remove(&event.token);
+                                on_event(id, PumpEvent::Failed(e));
+                            }
+                        }
+                    }
+                }
+            })?;
+        Ok(Self {
+            stop,
+            waker,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for FramePump {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.waker.wake();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use prochlo_core::framing::FrameWrite;
+    use std::io::Write;
+    use std::net::TcpListener;
+    use std::time::{Duration, Instant};
+
+    const POLICY: FramePolicy = FramePolicy::new(1, 1024);
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (client, server)
+    }
+
+    #[test]
+    fn frames_from_many_streams_demux_with_their_ids() {
+        let (mut c1, s1) = pair();
+        let (mut c2, s2) = pair();
+        #[allow(clippy::type_complexity)]
+        let seen: Arc<Mutex<Vec<(usize, Vec<u8>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let closed: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let closed_sink = Arc::clone(&closed);
+        let pump =
+            FramePump::spawn(
+                "test",
+                POLICY,
+                vec![(7, s1), (9, s2)],
+                move |id, event| match event {
+                    PumpEvent::Frame(body) => sink.lock().push((id, body)),
+                    PumpEvent::Closed => closed_sink.lock().push(id),
+                    PumpEvent::Failed(e) => panic!("stream {id} failed: {e}"),
+                },
+            )
+            .expect("pump");
+
+        let mut wire = Vec::new();
+        wire.write_frame(&POLICY, b"from one").expect("frame");
+        c1.write_all(&wire).expect("write");
+        let mut wire = Vec::new();
+        wire.write_frame(&POLICY, b"from two").expect("frame");
+        c2.write_all(&wire).expect("write");
+        drop(c1);
+        drop(c2);
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while closed.lock().len() < 2 {
+            assert!(Instant::now() < deadline, "streams never closed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(pump);
+        let mut got = seen.lock().clone();
+        got.sort();
+        assert_eq!(got, [(7, b"from one".to_vec()), (9, b"from two".to_vec())]);
+    }
+
+    #[test]
+    fn framing_violation_surfaces_as_failed() {
+        let (mut client, server) = pair();
+        let failures: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&failures);
+        let _pump = FramePump::spawn("test-fail", POLICY, vec![(1, server)], move |id, event| {
+            if matches!(event, PumpEvent::Failed(FrameError::TooLarge { .. })) {
+                sink.lock().push(id);
+            }
+        })
+        .expect("pump");
+        client
+            .write_all(&(1u32 << 30).to_le_bytes())
+            .expect("write oversized announcement");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while failures.lock().is_empty() {
+            assert!(Instant::now() < deadline, "violation never surfaced");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(*failures.lock(), [1]);
+    }
+
+    #[test]
+    fn dropping_the_pump_joins_the_thread() {
+        let (_client, server) = pair();
+        let pump =
+            FramePump::spawn("test-drop", POLICY, vec![(1, server)], |_, _| {}).expect("pump");
+        drop(pump); // must not hang despite the idle stream
+    }
+}

@@ -138,7 +138,7 @@ fn run_shuffler_two() {
     builder
         .accept(1 + usize::from(NUM_SHARDS))
         .expect("accept s1 + shards");
-    let transport = builder.build();
+    let transport = builder.build().expect("transport pump");
     serve_shuffler_two(&transport, two).expect("serve shuffler two");
 }
 
@@ -156,7 +156,7 @@ fn run_shuffler_one(s2: SocketAddr) {
     builder
         .accept(usize::from(NUM_SHARDS))
         .expect("accept shards");
-    let transport = builder.build();
+    let transport = builder.build().expect("transport pump");
     serve_shuffler_one(&transport, &one, &elgamal, NUM_SHARDS).expect("serve shuffler one");
 }
 
@@ -172,7 +172,7 @@ fn run_shard(index: u16, s1: SocketAddr, s2: SocketAddr) {
     builder.connect(Peer::ShufflerTwo, s2).expect("dial s2");
     advertise("FABRIC", fabric_addr);
     builder.accept(1).expect("accept driver");
-    let transport: Arc<dyn Transport> = Arc::new(builder.build());
+    let transport: Arc<dyn Transport> = Arc::new(builder.build().expect("transport pump"));
 
     let pipeline =
         RemoteSplitPipeline::new(Arc::clone(&transport), index, deployment.analyzer().clone());
@@ -322,7 +322,7 @@ fn drive() {
         collector_addrs.push(shard.read_addr("COLLECTOR"));
         shards.push(shard);
     }
-    let driver_transport = driver_builder.build();
+    let driver_transport = driver_builder.build().expect("transport pump");
 
     // Phase A: the shard router fronts the collectors; clients submit
     // routed reports and never learn the shard layout.

@@ -4,6 +4,8 @@
 //! the workspace smoke test can drive the exact encode→shuffle→analyze path
 //! the example demonstrates.
 
+pub mod knobs;
+
 use std::thread;
 
 use prochlo_collector::{

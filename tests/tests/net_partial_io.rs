@@ -1,0 +1,182 @@
+//! Partial-I/O behavior of the event-driven serving path.
+//!
+//! The reactor-based collector accumulates frames incrementally across
+//! arbitrarily fragmented reads; these tests drive a live collector with
+//! raw sockets that fragment, dribble, and lie, and assert the protocol
+//! behavior the blocking implementation established:
+//!
+//! * a frame delivered one byte at a time is served like any other;
+//! * frames split at arbitrary byte boundaries across writes are served
+//!   in order;
+//! * an oversized length announcement is rejected from the 4-byte prefix
+//!   alone — before any body arrives — and the connection is closed;
+//! * a slow-loris connection that never completes a frame is evicted at
+//!   the progress deadline while healthy clients on the same event loops
+//!   keep being served.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use prochlo_collector::protocol::read_frame;
+use prochlo_collector::{
+    Collector, CollectorClient, CollectorConfig, Request, Response, PROTOCOL_VERSION,
+};
+use prochlo_core::Deployment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn start_collector(config: CollectorConfig) -> Collector {
+    let mut rng = StdRng::seed_from_u64(7);
+    let deployment = Deployment::builder().payload_size(32).build(&mut rng);
+    Collector::start(deployment, config).expect("start collector")
+}
+
+fn test_config() -> CollectorConfig {
+    CollectorConfig {
+        worker_threads: 2,
+        epoch_deadline: Duration::from_millis(50),
+        ..CollectorConfig::default()
+    }
+}
+
+/// Serializes `body` as one collector frame: `[u32 le length][version][body]`.
+fn frame_bytes(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + body.len());
+    out.extend_from_slice(&u32::try_from(1 + body.len()).unwrap().to_le_bytes());
+    out.push(PROTOCOL_VERSION);
+    out.extend_from_slice(body);
+    out
+}
+
+#[test]
+fn a_frame_dribbled_one_byte_at_a_time_is_served() {
+    let collector = start_collector(test_config());
+    let mut stream = TcpStream::connect(collector.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    let frame = frame_bytes(&Request::Ping.to_bytes());
+    for byte in &frame {
+        stream.write_all(std::slice::from_ref(byte)).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let body = read_frame(&mut stream, 64 << 10).unwrap();
+    assert!(matches!(
+        Response::from_bytes(&body).unwrap(),
+        Response::Ack { .. }
+    ));
+    drop(stream);
+    collector.shutdown();
+}
+
+#[test]
+fn frames_split_across_writes_are_served_in_order() {
+    let collector = start_collector(test_config());
+    let mut stream = TcpStream::connect(collector.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // Two pipelined pings, cut at a boundary that leaves the second frame's
+    // length prefix torn across writes.
+    let mut wire = frame_bytes(&Request::Ping.to_bytes());
+    wire.extend_from_slice(&frame_bytes(&Request::Ping.to_bytes()));
+    let cut = wire.len() / 2 + 2;
+    stream.write_all(&wire[..cut]).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    stream.write_all(&wire[cut..]).unwrap();
+    stream.flush().unwrap();
+
+    for _ in 0..2 {
+        let body = read_frame(&mut stream, 64 << 10).unwrap();
+        assert!(matches!(
+            Response::from_bytes(&body).unwrap(),
+            Response::Ack { .. }
+        ));
+    }
+    drop(stream);
+    collector.shutdown();
+}
+
+#[test]
+fn oversized_announcement_is_rejected_before_the_body_arrives() {
+    let config = CollectorConfig {
+        max_frame_len: 1024,
+        ..test_config()
+    };
+    let collector = start_collector(config);
+    let mut stream = TcpStream::connect(collector.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // Announce 1 MiB against a 1 KiB ceiling and send only a sliver of the
+    // body: the rejection must come from the prefix alone, mid-accumulation.
+    stream.write_all(&(1u32 << 20).to_le_bytes()).unwrap();
+    stream.write_all(&[PROTOCOL_VERSION, 0, 0, 0]).unwrap();
+    stream.flush().unwrap();
+
+    let body = read_frame(&mut stream, 64 << 10).unwrap();
+    match Response::from_bytes(&body).unwrap() {
+        Response::Rejected { reason } => assert!(
+            reason.contains("maximum size"),
+            "unexpected reason {reason:?}"
+        ),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    // The stream is unrecoverable past a hostile announcement: after the
+    // rejection the collector hangs up.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "no frames may follow the rejection");
+    collector.shutdown();
+}
+
+#[test]
+fn slow_loris_is_evicted_while_healthy_clients_keep_being_served() {
+    let config = CollectorConfig {
+        // One event loop: the loris and the healthy client share a thread,
+        // so a blocking read on the loris would starve the healthy client.
+        worker_threads: 1,
+        io_timeout: Duration::from_millis(200),
+        ..test_config()
+    };
+    let collector = start_collector(config);
+
+    // The loris sends a torn frame prefix and then stalls forever; partial
+    // bytes must not count as progress.
+    let mut loris = TcpStream::connect(collector.local_addr()).unwrap();
+    loris.write_all(&[9, 0]).unwrap();
+    loris.flush().unwrap();
+
+    let mut healthy = CollectorClient::connect(collector.local_addr()).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while collector.stats().connections_evicted == 0 {
+        assert!(
+            matches!(healthy.ping().unwrap(), Response::Ack { .. }),
+            "healthy client must keep being served during the loris stall"
+        );
+        assert!(
+            std::time::Instant::now() < deadline,
+            "loris was never evicted"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The evicted socket is closed server-side: the loris sees EOF.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    assert_eq!(loris.read(&mut buf).unwrap(), 0, "loris must see EOF");
+    // And the healthy client is still fine afterwards.
+    assert!(matches!(healthy.ping().unwrap(), Response::Ack { .. }));
+
+    drop(healthy);
+    let summary = collector.shutdown();
+    assert_eq!(summary.stats.connections_evicted, 1);
+}
